@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every figure/table bench regenerates its paper artifact end-to-end at a
+reduced scale (``BENCH_DAYS`` of synthetic workload, fixed seed) so the
+suite finishes in minutes.  The trace cache in ``repro.experiments.common``
+is pre-warmed here so benches measure analysis cost, not generation.
+"""
+
+import pytest
+
+from repro.experiments.common import get_traces
+
+#: synthetic window used by all figure benches
+BENCH_DAYS = 6.0
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_traces():
+    """Generate the shared per-system traces once per benchmark session."""
+    return get_traces(BENCH_DAYS, BENCH_SEED)

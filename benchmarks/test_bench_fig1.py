@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 1 job geometries (fig1)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig1(benchmark):
+    """End-to-end regeneration of Fig 1 job geometries."""
+    result = benchmark(run_experiment, "fig1", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig1"
+    assert result.render()

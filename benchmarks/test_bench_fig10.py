@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 10 runtime vs queue length (fig10)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig10(benchmark):
+    """End-to-end regeneration of Fig 10 runtime vs queue length."""
+    result = benchmark(run_experiment, "fig10", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig10"
+    assert result.render()

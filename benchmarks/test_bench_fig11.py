@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 11 per-user runtime by status (fig11)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig11(benchmark):
+    """End-to-end regeneration of Fig 11 per-user runtime by status."""
+    result = benchmark(run_experiment, "fig11", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig11"
+    assert result.render()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 2 core-hour domination (fig2)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig2(benchmark):
+    """End-to-end regeneration of Fig 2 core-hour domination."""
+    result = benchmark(run_experiment, "fig2", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig2"
+    assert result.render()

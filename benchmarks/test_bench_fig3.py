@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 3 utilization timelines (fig3)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig3(benchmark):
+    """End-to-end regeneration of Fig 3 utilization timelines."""
+    result = benchmark(run_experiment, "fig3", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig3"
+    assert result.render()

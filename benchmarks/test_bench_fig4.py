@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 4 wait/turnaround CDFs (fig4)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig4(benchmark):
+    """End-to-end regeneration of Fig 4 wait/turnaround CDFs."""
+    result = benchmark(run_experiment, "fig4", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig4"
+    assert result.render()

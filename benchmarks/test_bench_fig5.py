@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 5 wait vs geometry classes (fig5)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig5(benchmark):
+    """End-to-end regeneration of Fig 5 wait vs geometry classes."""
+    result = benchmark(run_experiment, "fig5", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig5"
+    assert result.render()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 6 status distribution (fig6)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig6(benchmark):
+    """End-to-end regeneration of Fig 6 status distribution."""
+    result = benchmark(run_experiment, "fig6", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig6"
+    assert result.render()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 7 failure vs geometry (fig7)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig7(benchmark):
+    """End-to-end regeneration of Fig 7 failure vs geometry."""
+    result = benchmark(run_experiment, "fig7", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig7"
+    assert result.render()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 8 per-user config repetition (fig8)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig8(benchmark):
+    """End-to-end regeneration of Fig 8 per-user config repetition."""
+    result = benchmark(run_experiment, "fig8", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig8"
+    assert result.render()

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 9 size vs queue length (fig9)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_fig9(benchmark):
+    """End-to-end regeneration of Fig 9 size vs queue length."""
+    result = benchmark(run_experiment, "fig9", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "fig9"
+    assert result.render()

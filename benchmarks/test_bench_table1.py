@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I trace-overview table (table1)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_table1(benchmark):
+    """End-to-end regeneration of Table I trace-overview table."""
+    result = benchmark(run_experiment, "table1", days=BENCH_DAYS, seed=BENCH_SEED)
+    assert result.exp_id == "table1"
+    assert result.render()

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (adaptive relaxed backfilling)."""
+
+from repro.experiments import run_experiment
+
+from conftest import BENCH_DAYS, BENCH_SEED
+
+
+def test_bench_table2(benchmark):
+    """End-to-end regeneration of Table II at reduced job counts."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("table2",),
+        kwargs=dict(days=BENCH_DAYS, seed=BENCH_SEED, max_jobs=2500),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.exp_id == "table2"
+    for system, cells in result.data.items():
+        assert 0.0 < cells["relaxed"]["util"] <= 1.0, system

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Clone a cluster's workload: fit a generative model, regenerate, compare.
+
+Operators rarely may share raw logs; a fitted statistical clone often can
+be shared.  This example fits the full generative model (EM lognormal
+mixtures for runtimes, empirical sizes/diurnal/status/wait models, session
+structure) from a source trace and verifies the clone matches on the
+paper's headline statistics — then shows the clone drives the scheduler
+simulator just like the original.
+
+Run:  python examples/clone_workload.py
+"""
+
+import numpy as np
+
+from repro.sched import EASY, compute_metrics, simulate, workload_from_trace
+from repro.traces.synth import fit_calibration, generate_trace
+from repro.viz import render_table, seconds
+
+
+def stats_row(name, trace):
+    return [
+        name,
+        str(trace.num_jobs),
+        seconds(float(np.median(trace["runtime"]))),
+        seconds(float(np.median(trace.arrival_intervals()))),
+        f"{float((trace['status'] == 0).mean()):.2f}",
+        seconds(float(np.median(trace["wait_time"]))),
+    ]
+
+
+def main() -> None:
+    # pretend this is your cluster's log (any Trace works, incl. read_swf)
+    source = generate_trace("theta", days=10, seed=4)
+    print(f"Source: {source.num_jobs} jobs on {source.system.name}\n")
+
+    calibration = fit_calibration(source)
+    clone = generate_trace(calibration, days=10, seed=2024)
+
+    print(
+        render_table(
+            ["trace", "jobs", "median rt", "median gap", "passed", "median wait"],
+            [stats_row("source", source), stats_row("clone", clone)],
+            title="Source vs fitted clone (headline statistics)",
+        )
+    )
+
+    rows = []
+    for label, trace in (("source", source), ("clone", clone)):
+        metrics = compute_metrics(
+            simulate(
+                workload_from_trace(trace),
+                trace.system.schedulable_units,
+                "fcfs",
+                EASY,
+            )
+        )
+        rows.append(
+            [label, seconds(metrics.wait), f"{metrics.bsld:.2f}", f"{metrics.util:.3f}"]
+        )
+    print()
+    print(
+        render_table(
+            ["trace", "sim wait", "sim bsld", "sim util"],
+            rows,
+            title="EASY-backfilling simulation on both traces",
+        )
+    )
+    print(
+        "\nThe clone carries no job-level information from the source - only "
+        "fitted distribution parameters - yet reproduces its scheduling "
+        "behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

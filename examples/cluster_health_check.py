@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Cluster health check: classify your workload and get scheduling advice.
+
+Combines two of the library's synthesis layers:
+
+1. :func:`repro.core.nearest_system` — which of the paper's five systems
+   does your workload resemble (KS distances over the key marginals)?
+2. :func:`repro.core.advise` — rule-based recommendations derived from the
+   paper's eight takeaways.
+
+Run:  python examples/cluster_health_check.py [trace.swf]
+"""
+
+import sys
+
+from repro.core import advise, nearest_system
+from repro.traces import read_swf
+from repro.traces.synth import generate_trace
+from repro.viz import render_table
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        trace = read_swf(sys.argv[1])
+        print(f"Loaded {trace.num_jobs} jobs from {sys.argv[1]}\n")
+    else:
+        # demo: a hybrid-ish workload (Blue Waters calibration)
+        trace = generate_trace("blue_waters", days=3, seed=21)
+        print(f"(demo: {trace.num_jobs} synthetic Blue Waters-like jobs)\n")
+
+    ranking = nearest_system(trace, days=2, seed=1)
+    print(
+        render_table(
+            ["reference system", "workload distance"],
+            [[name, f"{dist:.3f}"] for name, dist in ranking],
+            title="Which studied system does this workload resemble? "
+            "(0 = identical marginals)",
+        )
+    )
+    best = ranking[0][0]
+    print(
+        f"\n-> closest match: {best}. The paper's observations for {best} "
+        "are your starting point.\n"
+    )
+
+    print("Scheduling advice (from the eight takeaways):")
+    recommendations = advise(trace)
+    if not recommendations:
+        print("  nothing to flag - enviable cluster!")
+    for rec in recommendations:
+        print(f"  {rec}")
+
+
+if __name__ == "__main__":
+    main()

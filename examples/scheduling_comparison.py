@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Compare scheduling policies and backfilling strategies on an HPC workload.
+
+The paper's use case 2 motivates adaptive relaxed backfilling; this example
+goes wider: it sweeps queue policies (FCFS/SJF/WFP3/...) crossed with
+backfilling modes (none/EASY/relaxed/adaptive) on a synthetic Theta month
+and prints the wait/bsld/util/violation grid.
+
+Run:  python examples/scheduling_comparison.py
+"""
+
+from repro.sched import (
+    EASY,
+    NO_BACKFILL,
+    adaptive_relaxed,
+    compute_metrics,
+    relaxed,
+    simulate,
+    workload_from_trace,
+)
+from repro.traces.synth import generate_trace
+from repro.viz import render_table, seconds
+
+
+def main() -> None:
+    trace = generate_trace("theta", days=10, seed=3)
+    workload = workload_from_trace(trace)
+    capacity = trace.system.schedulable_units
+    print(
+        f"Simulating {workload.n} Theta jobs on {capacity:,} cores "
+        f"({trace.meta['days']} days)\n"
+    )
+
+    backfills = [
+        ("none", NO_BACKFILL),
+        ("easy", EASY),
+        ("relaxed-10%", relaxed(0.1)),
+        ("adaptive-10%", adaptive_relaxed(0.1)),
+    ]
+    rows = []
+    for policy in ("fcfs", "sjf", "wfp3"):
+        for bf_name, bf in backfills:
+            metrics = compute_metrics(
+                simulate(workload, capacity, policy, bf)
+            )
+            rows.append(
+                [
+                    policy,
+                    bf_name,
+                    seconds(metrics.wait),
+                    f"{metrics.bsld:.2f}",
+                    f"{metrics.util:.3f}",
+                    seconds(metrics.violation),
+                ]
+            )
+    print(
+        render_table(
+            ["policy", "backfill", "avg wait", "bsld", "util", "violation"],
+            rows,
+            title="Scheduling strategy grid",
+        )
+    )
+    print(
+        "\nNote how backfilling slashes waits versus 'none', how relaxing "
+        "backfills more at the price of reservation violations, and how the "
+        "adaptive variant claws the violations back (paper Table II)."
+    )
+
+
+if __name__ == "__main__":
+    main()

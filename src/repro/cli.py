@@ -1,0 +1,197 @@
+"""Top-level command-line interface.
+
+Subcommands::
+
+    repro generate  <system> -o trace.swf [--days D] [--seed S]
+    repro validate  <trace.swf>
+    repro analyze   <trace.swf> [--report out.md]
+    repro simulate  <trace.swf> [--policy P] [--backfill MODE] [--relax F]
+    repro study     [--days D] [--seed S] [--report out.md]
+
+Invoke as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.report import write_report
+from .core.study import CrossSystemStudy
+from .sched import (
+    EASY,
+    NO_BACKFILL,
+    adaptive_relaxed,
+    compute_metrics,
+    relaxed,
+    simulate,
+    workload_from_trace,
+)
+from .traces import read_swf, validate_trace, write_swf
+from .traces.synth import CALIBRATIONS, generate_trace
+from .viz import render_table, seconds
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(args.system, days=args.days, seed=args.seed)
+    write_swf(trace, args.output)
+    print(
+        f"wrote {trace.num_jobs} jobs ({args.system}, {args.days} days, "
+        f"seed {args.seed}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    trace = read_swf(args.trace)
+    report = validate_trace(trace)
+    print(f"{args.trace}: {trace.num_jobs} jobs on {trace.system.name}")
+    print(report)
+    return 0 if report.consistent else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_swf(args.trace)
+    name = trace.system.name.lower().replace(" ", "_")
+    study = CrossSystemStudy.from_traces({name: trace})
+    if args.report:
+        path = write_report(study, args.report, title=f"Analysis of {args.trace}")
+        print(f"wrote report to {path}")
+    else:
+        from .core import core_hour_shares, runtime_summary, status_shares
+
+        rt = runtime_summary(trace)
+        ch = core_hour_shares(trace)
+        st = status_shares(trace)
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["jobs", str(trace.num_jobs)],
+                    ["median runtime", seconds(rt.median)],
+                    ["dominant size class", ch.dominant_size()],
+                    ["dominant length class", ch.dominant_length()],
+                    ["passed share", f"{st.passed_count_share:.2f}"],
+                ],
+                title=f"{trace.system.name}",
+            )
+        )
+    return 0
+
+
+_BACKFILLS = {
+    "none": lambda args: NO_BACKFILL,
+    "easy": lambda args: EASY,
+    "relaxed": lambda args: relaxed(args.relax),
+    "adaptive": lambda args: adaptive_relaxed(args.relax),
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = read_swf(args.trace)
+    workload = workload_from_trace(trace)
+    if args.max_jobs:
+        workload = workload.slice(args.max_jobs)
+    backfill = _BACKFILLS[args.backfill](args)
+    metrics = compute_metrics(
+        simulate(workload, trace.system.schedulable_units, args.policy, backfill)
+    )
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["jobs", str(workload.n)],
+                ["avg wait", seconds(metrics.wait)],
+                ["bounded slowdown", f"{metrics.bsld:.2f}"],
+                ["utilization", f"{metrics.util:.4f}"],
+                ["violation", seconds(metrics.violation)],
+            ],
+            title=f"{trace.system.name}: {args.policy} + {args.backfill}",
+        )
+    )
+    return 0
+
+
+def _cmd_clone(args: argparse.Namespace) -> int:
+    from .traces.synth import fit_calibration, generate_trace
+
+    source = read_swf(args.trace)
+    calibration = fit_calibration(source)
+    days = args.days or max(source.span_seconds / 86400.0, 1.0)
+    clone = generate_trace(calibration, days=days, seed=args.seed)
+    write_swf(clone, args.output)
+    print(
+        f"fitted {source.num_jobs} jobs; wrote a {clone.num_jobs}-job "
+        f"statistical clone to {args.output}"
+    )
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    study = CrossSystemStudy.generate(days=args.days, seed=args.seed)
+    if args.report:
+        path = write_report(study, args.report)
+        print(f"wrote report to {path}")
+    else:
+        for takeaway in study.takeaways():
+            print(takeaway)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IPPS'24 cross-system reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic trace as SWF")
+    p.add_argument("system", choices=sorted(CALIBRATIONS))
+    p.add_argument("-o", "--output", required=True, type=Path)
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("validate", help="consistency-check an SWF trace")
+    p.add_argument("trace", type=Path)
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("analyze", help="characterize an SWF trace")
+    p.add_argument("trace", type=Path)
+    p.add_argument("--report", type=Path, help="write a markdown report")
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("simulate", help="schedule an SWF trace")
+    p.add_argument("trace", type=Path)
+    p.add_argument("--policy", default="fcfs")
+    p.add_argument(
+        "--backfill", choices=sorted(_BACKFILLS), default="easy"
+    )
+    p.add_argument("--relax", type=float, default=0.1)
+    p.add_argument("--max-jobs", type=int, default=0)
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "clone", help="fit a workload model to an SWF trace and regenerate"
+    )
+    p.add_argument("trace", type=Path)
+    p.add_argument("-o", "--output", required=True, type=Path)
+    p.add_argument("--days", type=float, default=0.0, help="0 = source span")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_clone)
+
+    p = sub.add_parser("study", help="run the full five-system study")
+    p.add_argument("--days", type=float, default=30.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", type=Path, help="write a markdown report")
+    p.set_defaults(fn=_cmd_study)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

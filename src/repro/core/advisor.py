@@ -1,0 +1,217 @@
+"""Rule-based scheduling advisor.
+
+Turns the paper's eight takeaways into actionable per-cluster advice:
+each rule inspects one analysis of a trace and, when its trigger fires,
+emits a recommendation referencing the paper mechanism that addresses it
+(elapsed-time prediction, adaptive relaxed backfilling, pooling virtual
+clusters, ...).  This is the "so what" layer a scheduler operator would
+actually consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import Trace
+from .corehours import core_hour_shares
+from .failures import status_shares
+from .geometry import allocation_summary, arrival_summary, runtime_summary
+from .users import repetition_summary, runtime_vs_queue, size_vs_queue
+from .waiting import wait_by_class, wait_summary
+
+__all__ = ["Recommendation", "advise"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One piece of advice with its triggering evidence."""
+
+    rule: str
+    severity: str  # "info" | "advice" | "warning"
+    message: str
+    evidence: dict
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.rule}: {self.message}"
+
+
+def advise(trace: Trace) -> list[Recommendation]:
+    """Run all advisor rules against a trace."""
+    out: list[Recommendation] = []
+
+    # ------------------------------------------------------------------
+    st = status_shares(trace)
+    if st.wasted_core_hour_share > 0.3:
+        out.append(
+            Recommendation(
+                rule="failure-waste",
+                severity="warning",
+                message=(
+                    f"{st.wasted_core_hour_share:.0%} of core-hours go to "
+                    "Failed/Killed jobs. Deploy elapsed-time runtime "
+                    "prediction (use case 1) to detect doomed jobs early "
+                    "and fault-aware scheduling to contain them."
+                ),
+                evidence={"wasted_share": st.wasted_core_hour_share},
+            )
+        )
+    if st.killed_amplification() > 2.0:
+        out.append(
+            Recommendation(
+                rule="killed-amplification",
+                severity="warning",
+                message=(
+                    f"Killed jobs consume {st.killed_amplification():.1f}x "
+                    "their count share in core-hours - long jobs die "
+                    "disproportionately. Consider checkpointing incentives "
+                    "or progressive walltime review."
+                ),
+                evidence={"amplification": st.killed_amplification()},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    rep = repetition_summary(trace)
+    if rep.top(3) > 0.6:
+        out.append(
+            Recommendation(
+                rule="repetition",
+                severity="advice",
+                message=(
+                    f"Users repeat their top-3 configurations for "
+                    f"{rep.top(3):.0%} of jobs - history-based runtime "
+                    "predictors (Last2 and richer models) will be accurate "
+                    "on this workload."
+                ),
+                evidence={"top3": rep.top(3)},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    size_mix = size_vs_queue(trace)
+    mf = size_mix.minimal_fraction()
+    valid = mf[np.isfinite(mf)]
+    if len(valid) >= 2 and valid[-1] > valid[0] + 0.02:
+        out.append(
+            Recommendation(
+                rule="queue-adaptive-users",
+                severity="advice",
+                message=(
+                    "Users shrink requests when the queue grows "
+                    f"(minimal-job share {valid[0]:.0%} -> {valid[-1]:.0%}). "
+                    "Adaptive relaxed backfilling (use case 2) exploits "
+                    "exactly this: relax more when the queue is long."
+                ),
+                evidence={"minimal_by_queue": [float(v) for v in mf]},
+            )
+        )
+    rt_mix = runtime_vs_queue(trace)
+    mfr = rt_mix.minimal_fraction()
+    valid_r = mfr[np.isfinite(mfr)]
+    if len(valid_r) >= 2 and valid_r[-1] > valid_r[0] + 0.02:
+        out.append(
+            Recommendation(
+                rule="queue-adaptive-runtimes",
+                severity="info",
+                message=(
+                    "Job runtimes also shorten under long queues (a DL-"
+                    "workload signature); short-job-friendly policies (SJF "
+                    "tie-break, generous backfill windows) will pay off."
+                ),
+                evidence={"minimal_runtime_by_queue": [float(v) for v in mfr]},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    waits = wait_summary(trace)
+    rts = runtime_summary(trace)
+    if waits.median_wait > max(rts.median, 1.0):
+        out.append(
+            Recommendation(
+                rule="wait-dominates-runtime",
+                severity="warning",
+                message=(
+                    f"Median wait ({waits.median_wait:.0f}s) exceeds median "
+                    f"runtime ({rts.median:.0f}s) - the Blue Waters "
+                    "pathology. Revisit scheduling policy and capacity."
+                ),
+                evidence={
+                    "median_wait": waits.median_wait,
+                    "median_runtime": rts.median,
+                },
+            )
+        )
+    by_class = wait_by_class(trace)
+    finite = by_class.by_size[np.isfinite(by_class.by_size)]
+    if len(finite) == 3 and by_class.longest_waiting_size() == 1:
+        out.append(
+            Recommendation(
+                rule="middle-size-penalty",
+                severity="info",
+                message=(
+                    "Middle-size jobs wait longest (the paper's Fig 5 "
+                    "pattern): too big to backfill, not big enough for "
+                    "special treatment. Consider a dedicated middle-size "
+                    "reservation window."
+                ),
+                evidence={"by_size": [float(v) for v in by_class.by_size]},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    alloc = allocation_summary(trace)
+    if alloc.single_unit_fraction > 0.5:
+        out.append(
+            Recommendation(
+                rule="single-unit-dominance",
+                severity="info",
+                message=(
+                    f"{alloc.single_unit_fraction:.0%} of jobs request one "
+                    "unit - backfilling opportunities abound; make sure the "
+                    "bounded-slowdown threshold (10s) still reflects your "
+                    "interactive jobs (Takeaway 1)."
+                ),
+                evidence={"single_unit": alloc.single_unit_fraction},
+            )
+        )
+
+    arr = arrival_summary(trace)
+    if np.isfinite(arr.peak_ratio) and arr.peak_ratio > 4.0:
+        out.append(
+            Recommendation(
+                rule="diurnal-peaks",
+                severity="advice",
+                message=(
+                    f"Submissions peak {arr.peak_ratio:.1f}x over the "
+                    "quietest hour - worth exploiting for maintenance "
+                    "windows and price/priority incentives, but only with "
+                    "per-system measurements (Takeaway 2)."
+                ),
+                evidence={"peak_ratio": arr.peak_ratio},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    shares = core_hour_shares(trace)
+    dominant = max(shares.by_size.max(), shares.by_length.max())
+    if dominant > 0.5:
+        out.append(
+            Recommendation(
+                rule="dominating-group",
+                severity="advice",
+                message=(
+                    f"One job class holds {dominant:.0%} of core-hours "
+                    f"(size: {shares.dominant_size()}, length: "
+                    f"{shares.dominant_length()}). Tune the scheduler for "
+                    "that group, not just the biggest jobs (Takeaway 4)."
+                ),
+                evidence={
+                    "dominant_size": shares.dominant_size(),
+                    "dominant_length": shares.dominant_length(),
+                },
+            )
+        )
+
+    return out

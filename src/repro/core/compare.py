@@ -1,0 +1,122 @@
+"""Cross-workload similarity: which studied system does a trace resemble?
+
+The paper's released tooling invites operators to compare their cluster
+against the five studied systems.  This module makes that comparison
+quantitative: a workload is summarized by the marginal distributions the
+paper's figures are built from (runtime, arrival interval, request size,
+wait, status mix), distances between workloads are averaged Kolmogorov-
+Smirnov statistics over those marginals (log-scaled where appropriate),
+and :func:`nearest_system` ranks the five reference systems by distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.schema import JobStatus, Trace
+from ..traces.synth import generate_trace
+
+__all__ = [
+    "WorkloadSignature",
+    "workload_signature",
+    "signature_distance",
+    "nearest_system",
+]
+
+#: marginals entering the distance, with their scaling
+_MARGINALS = (
+    ("runtime", True),
+    ("interval", True),
+    ("cores", True),
+    ("wait", True),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Distributional summary of one workload."""
+
+    system: str
+    runtime: np.ndarray
+    interval: np.ndarray
+    cores: np.ndarray
+    wait: np.ndarray
+    status_mix: np.ndarray  # (passed, failed, killed) shares
+
+    @property
+    def marginals(self) -> dict:
+        """Name -> sample array for the KS comparisons."""
+        return {
+            "runtime": self.runtime,
+            "interval": self.interval,
+            "cores": self.cores,
+            "wait": self.wait,
+        }
+
+
+def workload_signature(trace: Trace, max_samples: int = 20_000) -> WorkloadSignature:
+    """Extract the signature (subsampled for speed on huge traces)."""
+    rng = np.random.default_rng(0)
+
+    def sample(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if len(values) > max_samples:
+            values = rng.choice(values, max_samples, replace=False)
+        return np.sort(values)
+
+    statuses = trace["status"]
+    mix = np.array(
+        [float(np.mean(statuses == int(s))) for s in JobStatus]
+    )
+    return WorkloadSignature(
+        system=trace.system.name,
+        runtime=sample(trace["runtime"]),
+        interval=sample(trace.arrival_intervals()),
+        cores=sample(trace["cores"]),
+        wait=sample(trace["wait_time"]),
+        status_mix=mix,
+    )
+
+
+def _ks_statistic(a: np.ndarray, b: np.ndarray, log_scale: bool) -> float:
+    """Two-sample KS statistic (sorted inputs)."""
+    if len(a) == 0 or len(b) == 0:
+        return 1.0
+    if log_scale:
+        a = np.log10(np.maximum(a, 1e-3))
+        b = np.log10(np.maximum(b, 1e-3))
+    grid = np.union1d(a, b)
+    cdf_a = np.searchsorted(a, grid, side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid, side="right") / len(b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def signature_distance(a: WorkloadSignature, b: WorkloadSignature) -> float:
+    """Mean KS distance over the marginals + status-mix L1 (0 = identical)."""
+    ks = [
+        _ks_statistic(a.marginals[name], b.marginals[name], log_scale)
+        for name, log_scale in _MARGINALS
+    ]
+    status_l1 = float(np.abs(a.status_mix - b.status_mix).sum()) / 2.0
+    return float((np.sum(ks) + status_l1) / (len(ks) + 1))
+
+
+def nearest_system(
+    trace: Trace,
+    days: float = 5.0,
+    seed: int = 0,
+    systems: tuple[str, ...] = ("mira", "theta", "blue_waters", "philly", "helios"),
+) -> list[tuple[str, float]]:
+    """Rank the five reference systems by workload distance to ``trace``.
+
+    Reference signatures come from short calibrated synthetic windows
+    (``days``); returns ``[(system, distance), ...]`` ascending.
+    """
+    target = workload_signature(trace)
+    scored = []
+    for name in systems:
+        reference = workload_signature(generate_trace(name, days=days, seed=seed))
+        scored.append((name, signature_distance(target, reference)))
+    return sorted(scored, key=lambda pair: pair[1])

@@ -1,0 +1,65 @@
+"""CLI entry point: ``python -m repro.experiments <id|all> [--days D] [--seed S]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import REGISTRY, run_experiment
+from .common import DEFAULT_DAYS, DEFAULT_SEED
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one or all experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+        epilog="Experiments: "
+        + "; ".join(f"{k} ({v[1]})" for k, v in REGISTRY.items()),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig1, table2) or 'all' / 'list'",
+    )
+    parser.add_argument(
+        "--days",
+        type=float,
+        default=DEFAULT_DAYS,
+        help=f"synthetic trace window in days (default {DEFAULT_DAYS})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="generator seed"
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write <exp>.txt and <exp>.json into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, (_, desc) in REGISTRY.items():
+            print(f"{key:8s} {desc}")
+        return 0
+
+    ids = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        t0 = time.time()
+        try:
+            result = run_experiment(exp_id, days=args.days, seed=args.seed)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(result.render())
+        if args.save:
+            txt, js = result.save(args.save)
+            print(f"(saved {txt} and {js})")
+        print(f"\n({exp_id} completed in {time.time() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

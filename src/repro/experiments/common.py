@@ -1,0 +1,87 @@
+"""Shared infrastructure for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from ..traces.schema import Trace
+from ..traces.synth import generate_all_traces
+
+__all__ = ["ExperimentResult", "get_traces", "DEFAULT_DAYS", "DEFAULT_SEED"]
+
+#: defaults for the experiment harness: one synthetic month per system,
+#: fixed seed so tables are reproducible bit-for-bit
+DEFAULT_DAYS = 30.0
+DEFAULT_SEED = 0
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: rendered text plus structured data."""
+
+    exp_id: str
+    title: str
+    blocks: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add(self, block: str) -> None:
+        """Append one rendered text block."""
+        self.blocks.append(block)
+
+    def render(self) -> str:
+        """Full text report."""
+        header = f"[{self.exp_id}] {self.title}"
+        rule = "#" * len(header)
+        return "\n\n".join([f"{rule}\n{header}\n{rule}", *self.blocks])
+
+    def to_json(self) -> str:
+        """Structured data as strict JSON (NumPy converted, NaN -> null)."""
+
+        def clean(obj):
+            if isinstance(obj, dict):
+                return {str(k): clean(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [clean(v) for v in obj]
+            if isinstance(obj, np.ndarray):
+                return [clean(v) for v in obj.tolist()]
+            if isinstance(obj, (np.integer, int)) and not isinstance(obj, bool):
+                return int(obj)
+            if isinstance(obj, (np.floating, float)):
+                v = float(obj)
+                return v if np.isfinite(v) else None
+            if isinstance(obj, (bool, str)) or obj is None:
+                return obj
+            return str(obj)
+
+        return json.dumps(
+            clean({"exp_id": self.exp_id, "title": self.title, "data": self.data}),
+            indent=1,
+            allow_nan=False,
+        )
+
+    def save(self, directory: str | Path) -> tuple[Path, Path]:
+        """Write ``<exp_id>.txt`` (report) and ``<exp_id>.json`` (data)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        txt = directory / f"{self.exp_id}.txt"
+        js = directory / f"{self.exp_id}.json"
+        txt.write_text(self.render() + "\n")
+        js.write_text(self.to_json() + "\n")
+        return txt, js
+
+
+@lru_cache(maxsize=4)
+def _cached_traces(days: float, seed: int) -> dict[str, Trace]:
+    return generate_all_traces(days=days, seed=seed)
+
+
+def get_traces(
+    days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED
+) -> dict[str, Trace]:
+    """Per-system traces shared across experiments (cached per process)."""
+    return _cached_traces(days, seed)

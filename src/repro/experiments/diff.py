@@ -1,0 +1,116 @@
+"""Compare two saved experiment-result directories.
+
+``python -m repro.experiments all --save results/`` writes one JSON per
+experiment; this module diffs two such directories with per-value relative
+tolerances — the repository's regression check for "did this change move
+any reproduced number?".
+
+Usage::
+
+    from repro.experiments.diff import diff_results
+    report = diff_results("results_before", "results_after", rtol=0.05)
+    print(report)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ValueDrift", "DiffReport", "diff_results"]
+
+
+@dataclass(frozen=True)
+class ValueDrift:
+    """One numeric value that moved beyond tolerance."""
+
+    experiment: str
+    path: str
+    before: float | None
+    after: float | None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.experiment}:{self.path}: {self.before!r} -> {self.after!r}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Outcome of comparing two result directories."""
+
+    drifted: list[ValueDrift] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    compared_values: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing moved and the experiment sets match."""
+        return not (self.drifted or self.missing or self.added)
+
+    def __str__(self) -> str:
+        if self.clean:
+            return f"results identical ({self.compared_values} values compared)"
+        lines = []
+        if self.missing:
+            lines.append("missing experiments: " + ", ".join(self.missing))
+        if self.added:
+            lines.append("new experiments: " + ", ".join(self.added))
+        lines += [str(d) for d in self.drifted]
+        return "\n".join(lines)
+
+
+def _walk(node, prefix: str = ""):
+    """Yield (path, leaf) pairs over nested dicts/lists."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _walk(value, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from _walk(value, f"{prefix}[{i}]")
+    else:
+        yield prefix, node
+
+
+def _values_differ(a, b, rtol: float, atol: float) -> bool:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        a_f, b_f = float(a), float(b)
+        if np.isnan(a_f) and np.isnan(b_f):
+            return False
+        return not np.isclose(a_f, b_f, rtol=rtol, atol=atol)
+    return a != b
+
+
+def diff_results(
+    before_dir: str | Path,
+    after_dir: str | Path,
+    rtol: float = 0.05,
+    atol: float = 1e-9,
+) -> DiffReport:
+    """Diff every ``<exp>.json`` present in either directory."""
+    before_dir, after_dir = Path(before_dir), Path(after_dir)
+    before_files = {p.stem: p for p in before_dir.glob("*.json")}
+    after_files = {p.stem: p for p in after_dir.glob("*.json")}
+
+    report = DiffReport()
+    report.missing = sorted(set(before_files) - set(after_files))
+    report.added = sorted(set(after_files) - set(before_files))
+
+    for exp in sorted(set(before_files) & set(after_files)):
+        before = json.loads(before_files[exp].read_text()).get("data", {})
+        after = json.loads(after_files[exp].read_text()).get("data", {})
+        before_leaves = dict(_walk(before))
+        after_leaves = dict(_walk(after))
+        for path in sorted(set(before_leaves) | set(after_leaves)):
+            a = before_leaves.get(path)
+            b = after_leaves.get(path)
+            report.compared_values += 1
+            if path not in before_leaves or path not in after_leaves:
+                report.drifted.append(ValueDrift(exp, path, a, b))
+            elif _values_differ(a, b, rtol, atol):
+                report.drifted.append(ValueDrift(exp, path, a, b))
+    return report

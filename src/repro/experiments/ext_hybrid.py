@@ -1,0 +1,65 @@
+"""Extension: projecting future hybrid (HPC + DL) workloads.
+
+The paper's conclusion predicts HPC clusters will increasingly carry mixed
+workloads and that schedulers must prepare (the Blue Waters story).  This
+experiment injects a growing share of Helios-style DL jobs into the Theta
+workload and simulates EASY backfilling at each mix, quantifying how waits,
+slowdown and utilization move as the DL share grows.
+"""
+
+from __future__ import annotations
+
+from ..sched import EASY, compute_metrics, simulate, workload_from_trace
+from ..traces.mixing import mix_traces
+from ..viz import percent, render_table, seconds
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = DEFAULT_SEED,
+    fractions: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75),
+    core_scale: float = 64.0,
+    max_jobs: int = 8000,
+) -> ExperimentResult:
+    """Sweep the DL job share on a Theta-hosted hybrid workload."""
+    traces = get_traces(days, seed)
+    base = traces["theta"]
+    extra = traces["helios"]
+
+    result = ExperimentResult(
+        exp_id="ext_hybrid",
+        title="Extension: scheduling future hybrid HPC+DL workloads",
+    )
+    rows = []
+    data = {}
+    for frac in fractions:
+        mixed = mix_traces(base, extra, frac, core_scale=core_scale)
+        workload = workload_from_trace(mixed).slice(max_jobs)
+        metrics = compute_metrics(
+            simulate(workload, base.system.schedulable_units, "fcfs", EASY)
+        )
+        rows.append(
+            [
+                percent(frac, digits=0),
+                str(workload.n),
+                seconds(metrics.wait),
+                f"{metrics.bsld:.2f}",
+                f"{metrics.util:.3f}",
+            ]
+        )
+        data[str(frac)] = metrics.as_dict()
+
+    result.add(
+        render_table(
+            ["DL job share", "jobs", "avg wait", "bsld", "util"],
+            rows,
+            title=f"Theta + Helios-style jobs (1 GPU -> {core_scale:.0f} cores), "
+            "EASY backfilling (paper: hybrid mixes are what made Blue Waters "
+            "the hardest system to schedule)",
+        )
+    )
+    result.data = data
+    return result

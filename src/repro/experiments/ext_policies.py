@@ -1,0 +1,63 @@
+"""Extension: queue-policy comparison across the simulatable systems.
+
+The standard scheduler-paper grid: every queue-ordering policy crossed with
+the three HPC/hybrid workloads under EASY backfilling, reporting wait,
+bounded slowdown, utilization and the backfill rate — context for where
+the paper's FCFS-based use case 2 sits in the policy space.
+"""
+
+from __future__ import annotations
+
+from ..sched import EASY, POLICIES, compute_metrics, simulate, workload_from_trace
+from ..viz import percent, render_table, seconds
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+SYSTEMS = ("blue_waters", "mira", "theta")
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = DEFAULT_SEED,
+    policies: tuple[str, ...] = ("fcfs", "sjf", "wfp3", "unicef", "f1", "fairshare"),
+    max_jobs: int = 6000,
+) -> ExperimentResult:
+    """Policy x system grid under EASY backfilling."""
+    traces = get_traces(days, seed)
+    result = ExperimentResult(
+        exp_id="ext_policies",
+        title="Extension: queue-policy comparison under EASY backfilling",
+    )
+    data = {}
+    for system in SYSTEMS:
+        trace = traces[system]
+        workload = workload_from_trace(trace).slice(max_jobs)
+        capacity = trace.system.schedulable_units
+        rows = []
+        data[system] = {}
+        for policy in policies:
+            res = simulate(workload, capacity, policy, EASY)
+            metrics = compute_metrics(res)
+            rows.append(
+                [
+                    policy,
+                    seconds(metrics.wait),
+                    f"{metrics.bsld:.2f}",
+                    f"{metrics.util:.3f}",
+                    percent(res.backfill_rate),
+                ]
+            )
+            data[system][policy] = {
+                **metrics.as_dict(),
+                "backfill_rate": res.backfill_rate,
+            }
+        result.add(
+            render_table(
+                ["policy", "avg wait", "bsld", "util", "backfilled"],
+                rows,
+                title=f"{system} ({workload.n} jobs)",
+            )
+        )
+    result.data = data
+    return result

@@ -1,0 +1,152 @@
+"""Fig 1 — job geometries: runtime, arrival pattern, resource allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import analyze_geometry
+from ..viz import percent, render_table, seconds, series_row
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Reproduce all six panels of Fig 1 as text tables."""
+    traces = get_traces(days, seed)
+    summaries = {n: analyze_geometry(t) for n, t in traces.items()}
+
+    result = ExperimentResult(
+        exp_id="fig1", title="Job geometries characterization"
+    )
+
+    # --- Fig 1a upper: runtime CDFs --------------------------------------
+    probes = next(iter(summaries.values())).runtime.cdf_probes
+    rows = [
+        series_row(name, s.runtime.cdf_values)
+        for name, s in summaries.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *(seconds(p) for p in probes)],
+            rows,
+            title="Fig 1(a) upper: CDF of job runtime, P(runtime <= x)",
+        )
+    )
+
+    # --- Fig 1a bottom: runtime violins -----------------------------------
+    rows = []
+    for name, s in summaries.items():
+        v = s.runtime.violin
+        rows.append(
+            [
+                name,
+                seconds(v.minimum),
+                seconds(v.p05),
+                seconds(v.median),
+                seconds(v.p95),
+                seconds(v.maximum),
+                seconds(v.mode),
+            ]
+        )
+    result.add(
+        render_table(
+            ["system", "min", "p05", "median", "p95", "max", "mode"],
+            rows,
+            title="Fig 1(a) bottom: runtime violin statistics",
+        )
+    )
+
+    # --- Fig 1b upper: arrival interval CDFs ------------------------------
+    probes = next(iter(summaries.values())).arrival.cdf_probes
+    rows = [
+        series_row(name, s.arrival.cdf_values) for name, s in summaries.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *(seconds(p) for p in probes)],
+            rows,
+            title="Fig 1(b) upper: CDF of job arrival interval",
+        )
+    )
+
+    # --- Fig 1b bottom: hourly submissions --------------------------------
+    rows = []
+    for name, s in summaries.items():
+        counts = s.arrival.hourly_counts
+        rows.append(
+            [
+                name,
+                f"{counts.min():.0f}",
+                f"{counts.max():.0f}",
+                f"{s.arrival.peak_ratio:.1f}x",
+                f"{int(np.argmax(counts)):02d}:00",
+            ]
+        )
+    result.add(
+        render_table(
+            ["system", "min jobs/h", "max jobs/h", "max/min", "peak hour"],
+            rows,
+            title="Fig 1(b) bottom: diurnal submission pattern (local time)",
+        )
+    )
+
+    # --- Fig 1c upper: requested cores CDF --------------------------------
+    probes = next(iter(summaries.values())).allocation.cdf_probes
+    rows = [
+        series_row(name, s.allocation.cdf_values)
+        for name, s in summaries.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *(f"{int(p)}" for p in probes)],
+            rows,
+            title="Fig 1(c) upper: CDF of requested cores/GPUs",
+        )
+    )
+
+    # --- Fig 1c bottom: percentage-of-system CDF ---------------------------
+    probes = next(iter(summaries.values())).allocation.pct_probes
+    rows = [
+        series_row(name, s.allocation.pct_cdf_values)
+        for name, s in summaries.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *(f"{p}%" for p in probes)],
+            rows,
+            title="Fig 1(c) bottom: CDF of requested % of system",
+        )
+    )
+
+    # --- headline shape checks --------------------------------------------
+    rows = []
+    for name, s in summaries.items():
+        rows.append(
+            [
+                name,
+                seconds(s.runtime.median),
+                seconds(s.arrival.median_interval),
+                percent(s.allocation.single_unit_fraction),
+                percent(s.allocation.over_1000_fraction),
+            ]
+        )
+    result.add(
+        render_table(
+            ["system", "median runtime", "median interval", "1-unit jobs", ">1000 cores"],
+            rows,
+            title="Headline geometry numbers (paper: DL minutes vs HPC ~1.5h; "
+            "DL 5-10s intervals vs HPC ~100s; ~80% 1-GPU DL jobs)",
+        )
+    )
+
+    result.data = {
+        name: {
+            "median_runtime": s.runtime.median,
+            "median_interval": s.arrival.median_interval,
+            "single_unit_fraction": s.allocation.single_unit_fraction,
+            "peak_ratio": s.arrival.peak_ratio,
+        }
+        for name, s in summaries.items()
+    }
+    return result

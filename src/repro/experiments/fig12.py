@@ -1,0 +1,70 @@
+"""Fig 12 — job runtime prediction with vs without elapsed time."""
+
+from __future__ import annotations
+
+from ..predict.harness import run_use_case1
+from ..predict.models import MODEL_NAMES
+from ..viz import percent, render_table
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = DEFAULT_SEED,
+    systems: tuple[str, ...] = ("philly", "theta"),
+    fractions: tuple[float, ...] = (0.125, 0.25, 0.5),
+    models: tuple[str, ...] = MODEL_NAMES,
+    max_jobs: int = 12_000,
+) -> ExperimentResult:
+    """Reproduce Fig 12's two metric panels.
+
+    The paper reports one DL and one HPC workload behave alike here; we run
+    Philly and Theta by default (override ``systems`` for the full sweep).
+    """
+    traces = get_traces(days, seed)
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="Runtime prediction with/without elapsed time",
+    )
+
+    data = {}
+    for name in systems:
+        comparison = run_use_case1(
+            traces[name], fractions=fractions, models=models, max_jobs=max_jobs
+        )
+        for metric, better in (
+            ("underestimate_rate", "smaller"),
+            ("avg_accuracy", "higher"),
+        ):
+            rows = []
+            for model in models:
+                row = [model]
+                for frac in fractions:
+                    base = comparison.cell(model, frac, "baseline")
+                    elap = comparison.cell(model, frac, "elapsed")
+                    row.append(percent(getattr(base, metric)))
+                    row.append(percent(getattr(elap, metric)))
+                rows.append(row)
+            headers = ["model"]
+            for frac in fractions:
+                headers += [f"base@{frac}", f"elapsed@{frac}"]
+            result.add(
+                render_table(
+                    headers,
+                    rows,
+                    title=f"Fig 12 {name}: {metric} ({better} is better); "
+                    "elapsed fractions are of mean runtime "
+                    f"({comparison.mean_runtime:.0f}s)",
+                )
+            )
+        data[name] = {
+            f"{r.model}/{r.elapsed_fraction}/{r.arm}": {
+                "under": r.underestimate_rate,
+                "acc": r.avg_accuracy,
+            }
+            for r in comparison.results
+        }
+    result.data = data
+    return result

@@ -1,0 +1,68 @@
+"""Fig 2 — core-hour domination of different job types."""
+
+from __future__ import annotations
+
+from ..core.corehours import core_hour_shares, dominating_class
+from ..traces.categorize import LENGTH_LABELS, SIZE_LABELS
+from ..viz import percent, render_table
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Reproduce Fig 2's two bar groups (shares by size, shares by length)."""
+    traces = get_traces(days, seed)
+    shares = {n: core_hour_shares(t) for n, t in traces.items()}
+
+    result = ExperimentResult(
+        exp_id="fig2", title="Core-hour domination of different types of jobs"
+    )
+
+    rows = [
+        [name, *(percent(v) for v in s.by_size), s.dominant_size()]
+        for name, s in shares.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *SIZE_LABELS, "dominant"],
+            rows,
+            title="Fig 2 left: core-hour share by job size class",
+        )
+    )
+
+    rows = [
+        [name, *(percent(v) for v in s.by_length), s.dominant_length()]
+        for name, s in shares.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *LENGTH_LABELS, "dominant"],
+            rows,
+            title="Fig 2 right: core-hour share by job length class",
+        )
+    )
+
+    rows = [
+        [name, *(percent(v) for v in s.count_by_size),
+         *(percent(v) for v in s.count_by_length)]
+        for name, s in shares.items()
+    ]
+    result.add(
+        render_table(
+            ["system", *(f"size:{l}" for l in SIZE_LABELS),
+             *(f"len:{l}" for l in LENGTH_LABELS)],
+            rows,
+            title="Context: job-count shares per class",
+        )
+    )
+
+    result.data = {
+        name: {
+            "by_size": list(map(float, s.by_size)),
+            "by_length": list(map(float, s.by_length)),
+            "dominating": dominating_class(s),
+        }
+        for name, s in shares.items()
+    }
+    return result

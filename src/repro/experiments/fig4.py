@@ -1,0 +1,57 @@
+"""Fig 4 — CDFs of job waiting time and turnaround time."""
+
+from __future__ import annotations
+
+from ..core.waiting import wait_summary
+from ..viz import render_table, seconds, series_row
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Reproduce both Fig 4 panels."""
+    traces = get_traces(days, seed)
+    summaries = {n: wait_summary(t) for n, t in traces.items()}
+
+    result = ExperimentResult(
+        exp_id="fig4", title="Job waiting time and turnaround time"
+    )
+
+    probes = next(iter(summaries.values())).cdf_probes
+    result.add(
+        render_table(
+            ["system", *(seconds(p) for p in probes)],
+            [series_row(n, s.wait_cdf) for n, s in summaries.items()],
+            title="Fig 4(a): CDF of job waiting time",
+        )
+    )
+    result.add(
+        render_table(
+            ["system", *(seconds(p) for p in probes)],
+            [series_row(n, s.turnaround_cdf) for n, s in summaries.items()],
+            title="Fig 4(b): CDF of job turnaround time",
+        )
+    )
+    result.add(
+        render_table(
+            ["system", "median wait", "mean wait", "P(wait<10s)", "P(wait<10m)"],
+            [
+                [
+                    n,
+                    seconds(s.median_wait),
+                    seconds(s.mean_wait),
+                    f"{s.fraction_waiting_less_than(10):.2f}",
+                    f"{s.fraction_waiting_less_than(600):.2f}",
+                ]
+                for n, s in summaries.items()
+            ],
+            title="Headline waits (paper: Helios 80% <10s; Philly >50% >=10m; "
+            "Blue Waters >50% >1.5h)",
+        )
+    )
+    result.data = {
+        n: {"median_wait": s.median_wait, "mean_wait": s.mean_wait}
+        for n, s in summaries.items()
+    }
+    return result

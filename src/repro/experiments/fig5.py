@@ -1,0 +1,61 @@
+"""Fig 5 — correlation between job waiting time and job geometries."""
+
+from __future__ import annotations
+
+from ..core.waiting import wait_by_class
+from ..traces.categorize import LENGTH_LABELS, SIZE_LABELS
+from ..viz import render_table, seconds
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+
+def run(days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Reproduce Fig 5: mean wait per size class and per length class."""
+    traces = get_traces(days, seed)
+    summaries = {n: wait_by_class(t) for n, t in traces.items()}
+
+    result = ExperimentResult(
+        exp_id="fig5", title="Job waiting time vs job size and job runtime"
+    )
+
+    result.add(
+        render_table(
+            ["system", *SIZE_LABELS, "waits longest"],
+            [
+                [
+                    n,
+                    *(seconds(v) for v in s.by_size),
+                    SIZE_LABELS[s.longest_waiting_size()],
+                ]
+                for n, s in summaries.items()
+            ],
+            title="Fig 5 left: mean wait by size class "
+            "(paper: middle waits longest except Theta)",
+        )
+    )
+    result.add(
+        render_table(
+            ["system", *LENGTH_LABELS, "waits longest"],
+            [
+                [
+                    n,
+                    *(seconds(v) for v in s.by_length),
+                    LENGTH_LABELS[s.longest_waiting_length()],
+                ]
+                for n, s in summaries.items()
+            ],
+            title="Fig 5 right: mean wait by length class "
+            "(paper: long jobs wait longest everywhere)",
+        )
+    )
+    result.data = {
+        n: {
+            "by_size": list(map(float, s.by_size)),
+            "by_length": list(map(float, s.by_length)),
+            "size_counts": list(map(int, s.size_counts)),
+            "length_counts": list(map(int, s.length_counts)),
+        }
+        for n, s in summaries.items()
+    }
+    return result

@@ -1,0 +1,67 @@
+"""Fig 7 — job failure vs job runtime and job requested resources."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.failures import status_by_class
+from ..traces.categorize import LENGTH_LABELS, SIZE_LABELS
+from ..viz import percent, render_table
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+STATUS_LABELS = ("Passed", "Failed", "Killed")
+
+
+def _class_table(matrix: np.ndarray, counts: np.ndarray, labels) -> list:
+    rows = []
+    for k, label in enumerate(labels):
+        if counts[k] == 0:
+            rows.append([label, "-", "-", "-", "0"])
+        else:
+            rows.append(
+                [label, *(percent(v) for v in matrix[k]), str(int(counts[k]))]
+            )
+    return rows
+
+
+def run(days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED) -> ExperimentResult:
+    """Reproduce both Fig 7 panels for every system."""
+    traces = get_traces(days, seed)
+    result = ExperimentResult(
+        exp_id="fig7", title="Job failure vs runtime and requested resources"
+    )
+
+    data = {}
+    for name, trace in traces.items():
+        s = status_by_class(trace)
+        result.add(
+            render_table(
+                ["size class", *STATUS_LABELS, "jobs"],
+                _class_table(s.by_size, s.size_counts, SIZE_LABELS),
+                title=f"Fig 7(a) {name}: status by size "
+                "(paper: pass-rate falls with size only on DL systems)",
+            )
+        )
+        result.add(
+            render_table(
+                ["length class", *STATUS_LABELS, "jobs"],
+                _class_table(s.by_length, s.length_counts, LENGTH_LABELS),
+                title=f"Fig 7(b) {name}: status by runtime "
+                "(paper: pass-rate falls with runtime everywhere; "
+                "Mira long jobs ~99% killed)",
+            )
+        )
+        data[name] = {
+            "pass_by_size": [
+                float(v) if np.isfinite(v) else None
+                for v in s.pass_rate_by_size()
+            ],
+            "pass_by_length": [
+                float(v) if np.isfinite(v) else None
+                for v in s.pass_rate_by_length()
+            ],
+        }
+    result.data = data
+    return result

@@ -1,0 +1,71 @@
+"""Seed-sweep robustness harness for the eight takeaways.
+
+The synthetic substrate makes every figure a random variable; this module
+quantifies how stable the paper's qualitative findings are across generator
+seeds — the reproduction's answer to "did we get lucky with one seed?".
+
+Run: ``python -m repro.experiments robustness`` (uses several seeds; slower
+than the single-seed figures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.study import CrossSystemStudy
+from ..viz import percent, render_table
+from .common import DEFAULT_DAYS, ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = 0,
+    n_seeds: int = 5,
+) -> ExperimentResult:
+    """Evaluate takeaway hold-rates over ``n_seeds`` independent studies."""
+    hold_matrix = np.zeros((n_seeds, 8), dtype=bool)
+    titles: list[str] = []
+    for i in range(n_seeds):
+        study = CrossSystemStudy.generate(days=days, seed=seed + 101 * i)
+        takeaways = study.takeaways()
+        if not titles:
+            titles = [t.title for t in takeaways]
+        hold_matrix[i] = [t.holds for t in takeaways]
+
+    result = ExperimentResult(
+        exp_id="robustness",
+        title=f"Takeaway robustness over {n_seeds} seeds x {days:g} days",
+    )
+    rows = []
+    for k in range(8):
+        rate = hold_matrix[:, k].mean()
+        rows.append(
+            [
+                f"T{k + 1}",
+                titles[k],
+                percent(rate, digits=0),
+                "stable" if rate == 1.0 else ("mostly" if rate >= 0.6 else "fragile"),
+            ]
+        )
+    rows.append(
+        [
+            "all",
+            "every takeaway simultaneously",
+            percent(float(np.all(hold_matrix, axis=1).mean()), digits=0),
+            "",
+        ]
+    )
+    result.add(
+        render_table(
+            ["id", "takeaway", "hold rate", "verdict"],
+            rows,
+            title="Hold-rate per takeaway across seeds",
+        )
+    )
+    result.data = {
+        f"T{k + 1}": float(hold_matrix[:, k].mean()) for k in range(8)
+    }
+    result.data["per_seed"] = hold_matrix.tolist()
+    return result

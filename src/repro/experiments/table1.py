@@ -1,0 +1,71 @@
+"""Table I — overview of available and selected public job traces."""
+
+from __future__ import annotations
+
+from ..traces.systems import ALL_SYSTEMS
+from ..viz import render_table
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _fmt_count(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1e6:.1f} M"
+    return f"{n:,}"
+
+
+def run(days: float = 0.0, seed: int = 0) -> ExperimentResult:
+    """Reproduce Table I from the system-spec registry.
+
+    This table is metadata (no workload needed); ``days``/``seed`` are
+    accepted for harness uniformity and ignored.
+    """
+    rows = []
+    for s in ALL_SYSTEMS:
+        rows.append(
+            [
+                s.name,
+                s.affiliation,
+                s.years,
+                _fmt_count(s.job_count),
+                f"{s.nodes:,}" if s.nodes else "NA",
+                f"{s.cores:,}" if s.cores else "NA",
+                f"{s.gpus:,}" if s.gpus else "NA",
+                "yes" if s.large_scale else f"NO ({s.exclusion_reason.split(';')[0]})",
+                "yes" if s.has_user_info else "NO",
+                "yes" if s.has_job_status else "NO",
+                "yes" if s.info_consistent else "NO",
+                "SELECTED" if s.selected else "excluded",
+            ]
+        )
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Overview of available and selected public job traces",
+        data={
+            "selected": [s.name for s in ALL_SYSTEMS if s.selected],
+            "excluded": {
+                s.name: s.exclusion_reason for s in ALL_SYSTEMS if not s.selected
+            },
+        },
+    )
+    result.add(
+        render_table(
+            [
+                "Dataset",
+                "Affiliation",
+                "Years",
+                "Jobs",
+                "Nodes",
+                "Cores",
+                "GPUs",
+                "LargeScale",
+                "UserInfo",
+                "JobStatus",
+                "Consistent",
+                "Verdict",
+            ],
+            rows,
+        )
+    )
+    return result

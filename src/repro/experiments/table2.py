@@ -1,0 +1,56 @@
+"""Table II — scheduling performance with adaptive relaxed backfilling."""
+
+from __future__ import annotations
+
+from ..core.adaptive import run_use_case2
+from ..viz import render_table
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+
+__all__ = ["run"]
+
+#: systems simulated (the DL traces carry no walltimes, as in the paper)
+SYSTEMS = ("blue_waters", "mira", "theta")
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = DEFAULT_SEED,
+    relax_base: float = 0.1,
+    max_jobs: int | None = 40_000,
+) -> ExperimentResult:
+    """Reproduce Table II: relaxed vs adaptive-relaxed backfilling."""
+    traces = get_traces(days, seed)
+    result = ExperimentResult(
+        exp_id="table2",
+        title="Job scheduling performance with adaptive relaxing",
+    )
+
+    rows = []
+    data = {}
+    for name in SYSTEMS:
+        comparison = run_use_case2(
+            traces[name], relax_base=relax_base, max_jobs=max_jobs
+        )
+        imps = comparison.improvements()
+        for metric in ("wait", "bsld", "util", "violation"):
+            rel = comparison.relaxed.as_dict()[metric]
+            ada = comparison.adaptive.as_dict()[metric]
+            imp = imps[metric]
+            imp_str = "<1%" if abs(imp) < 1 else f"{imp:+.0f}%"
+            rows.append([name, metric, f"{rel:.2f}", f"{ada:.2f}", imp_str])
+        data[name] = {
+            "relaxed": comparison.relaxed.as_dict(),
+            "adaptive": comparison.adaptive.as_dict(),
+            "improvements": imps,
+        }
+
+    result.add(
+        render_table(
+            ["trace", "metric", "Relaxed", "Adaptive", "Improved"],
+            rows,
+            title="Table II (paper: violation cut 5%/49%/13% on BW/Mira/Theta "
+            "with <~6% movement in wait/bsld/util)",
+        )
+    )
+    result.data = data
+    return result

@@ -1,0 +1,77 @@
+"""CSV serialization for :class:`repro.frame.Frame`.
+
+Minimal, dependency-free CSV support: numeric columns round-trip through
+``repr``-precision floats; string columns are quoted only when needed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .frame import Frame
+
+__all__ = ["write_csv", "read_csv", "to_csv_string", "from_csv_string"]
+
+
+def to_csv_string(frame: Frame) -> str:
+    """Serialize ``frame`` to a CSV string with a header row."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    names = frame.column_names
+    writer.writerow(names)
+    cols = [frame[n] for n in names]
+    for i in range(frame.num_rows):
+        writer.writerow([_format(col[i]) for col in cols])
+    return buf.getvalue()
+
+
+def _format(value) -> str:
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return str(int(value))
+    if isinstance(value, (np.bool_, bool)):
+        return "true" if value else "false"
+    return str(value)
+
+
+def write_csv(frame: Frame, path: str | Path) -> None:
+    """Write ``frame`` to ``path`` as CSV."""
+    Path(path).write_text(to_csv_string(frame))
+
+
+def _parse_column(values: list[str]) -> np.ndarray:
+    """Infer bool/int/float/str dtype for a column of CSV strings."""
+    lowered = [v.lower() for v in values]
+    if values and all(v in ("true", "false") for v in lowered):
+        return np.array([v == "true" for v in lowered])
+    try:
+        return np.array([int(v) for v in values])
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in values])
+    except ValueError:
+        pass
+    return np.array(values, dtype=str)
+
+
+def from_csv_string(text: str) -> Frame:
+    """Parse a CSV string (header row required) into a Frame."""
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        return Frame()
+    header, body = rows[0], rows[1:]
+    columns = {}
+    for j, name in enumerate(header):
+        columns[name] = _parse_column([r[j] for r in body])
+    return Frame(columns)
+
+
+def read_csv(path: str | Path) -> Frame:
+    """Read a CSV file written by :func:`write_csv`."""
+    return from_csv_string(Path(path).read_text())

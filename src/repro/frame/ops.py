@@ -1,0 +1,149 @@
+"""Vectorized statistical helpers shared by the analysis layer.
+
+These are the numerical primitives behind the paper's figures: empirical
+CDFs (Fig 1, 4), violin summaries (Fig 1, 11), histograms, and weighted
+shares (Fig 2, 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ecdf",
+    "ecdf_at",
+    "histogram_counts",
+    "share",
+    "ViolinSummary",
+    "violin_summary",
+    "log_bins",
+]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``.
+
+    Returns ``(x, p)`` where ``x`` is sorted unique support and ``p`` is
+    P(X <= x).  Empty input yields two empty arrays.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return np.array([]), np.array([])
+    x = np.sort(values)
+    uniq, counts = np.unique(x, return_counts=True)
+    p = np.cumsum(counts) / len(x)
+    return uniq, p
+
+
+def ecdf_at(values: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF of ``values`` at arbitrary ``points``."""
+    values = np.sort(np.asarray(values, dtype=float))
+    points = np.asarray(points, dtype=float)
+    if values.size == 0:
+        return np.zeros_like(points)
+    return np.searchsorted(values, points, side="right") / len(values)
+
+
+def histogram_counts(values: np.ndarray, bins: np.ndarray) -> np.ndarray:
+    """Counts of values falling into ``bins`` edges (len(bins)-1 counts)."""
+    counts, _ = np.histogram(np.asarray(values, dtype=float), bins=bins)
+    return counts
+
+
+def share(weights: np.ndarray, labels: np.ndarray, order: list) -> np.ndarray:
+    """Fraction of total ``weights`` held by each label in ``order``.
+
+    Used for core-hour domination (Fig 2) and status core-hour shares
+    (Fig 6).  Labels absent from the data contribute zero.
+    """
+    weights = np.asarray(weights, dtype=float)
+    labels = np.asarray(labels)
+    total = weights.sum()
+    if total <= 0:
+        return np.zeros(len(order))
+    return np.array(
+        [weights[labels == lab].sum() / total for lab in order]
+    )
+
+
+@dataclass(frozen=True)
+class ViolinSummary:
+    """Distribution summary mirroring what a violin plot conveys."""
+
+    count: int
+    minimum: float
+    p05: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    mean: float
+    #: location of highest estimated density (the violin's widest point)
+    mode: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for table rendering."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "p05": self.p05,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+            "mean": self.mean,
+            "mode": self.mode,
+        }
+
+
+def violin_summary(values: np.ndarray, log_density: bool = True) -> ViolinSummary:
+    """Summarize a distribution as violin-plot statistics.
+
+    The mode is estimated from a histogram in log-space when
+    ``log_density`` is set (appropriate for runtimes spanning decades,
+    as in the paper's Fig 1a / Fig 11).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        nan = float("nan")
+        return ViolinSummary(0, nan, nan, nan, nan, nan, nan, nan, nan, nan)
+    qs = np.quantile(values, [0.05, 0.25, 0.5, 0.75, 0.95])
+    positive = values[values > 0]
+    if log_density and positive.size >= 2:
+        logs = np.log10(positive)
+        lo, hi = logs.min(), logs.max()
+        if hi - lo < 1e-12:
+            mode = float(positive[0])
+        else:
+            counts, edges = np.histogram(logs, bins=min(50, positive.size))
+            centre = (edges[:-1] + edges[1:]) / 2
+            mode = float(10 ** centre[np.argmax(counts)])
+    else:
+        counts, edges = np.histogram(values, bins=min(50, values.size))
+        centre = (edges[:-1] + edges[1:]) / 2
+        mode = float(centre[np.argmax(counts)]) if counts.size else float(values[0])
+    return ViolinSummary(
+        count=int(values.size),
+        minimum=float(values.min()),
+        p05=float(qs[0]),
+        p25=float(qs[1]),
+        median=float(qs[2]),
+        p75=float(qs[3]),
+        p95=float(qs[4]),
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+        mode=mode,
+    )
+
+
+def log_bins(lo: float, hi: float, per_decade: int = 10) -> np.ndarray:
+    """Logarithmically spaced bin edges covering ``[lo, hi]``."""
+    if lo <= 0:
+        raise ValueError("log bins need lo > 0")
+    lo_e, hi_e = np.log10(lo), np.log10(hi)
+    n = max(2, int(np.ceil((hi_e - lo_e) * per_decade)) + 1)
+    return np.logspace(lo_e, hi_e, n)

@@ -1,0 +1,44 @@
+"""From-scratch ML substrate: linear, trees, boosting, MLP, Tobit."""
+
+from .base import Regressor, check_X, check_Xy
+from .boosting import GradientBoostingRegressor
+from .linear import LinearRegression, Ridge
+from .metrics import (
+    mae,
+    mse,
+    prediction_accuracy,
+    r2_score,
+    underestimation_rate,
+)
+from .mlp import MLPRegressor
+from .neighbors import KNeighborsRegressor
+from .preprocess import StandardScaler, train_test_split
+from .quantile import QuantileGradientBoosting, pinball_loss
+from .tobit import TobitRegressor
+from .tree import DecisionTreeRegressor
+from .validation import cross_val_score, kfold_indices, walk_forward_score
+
+__all__ = [
+    "Regressor",
+    "check_X",
+    "check_Xy",
+    "LinearRegression",
+    "Ridge",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "KNeighborsRegressor",
+    "QuantileGradientBoosting",
+    "pinball_loss",
+    "TobitRegressor",
+    "cross_val_score",
+    "kfold_indices",
+    "walk_forward_score",
+    "StandardScaler",
+    "train_test_split",
+    "mse",
+    "mae",
+    "r2_score",
+    "prediction_accuracy",
+    "underestimation_rate",
+]

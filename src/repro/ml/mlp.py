@@ -1,0 +1,126 @@
+"""Multilayer perceptron regressor trained with Adam.
+
+A compact fully-connected network (ReLU hidden layers, linear output,
+squared loss) with mini-batch Adam — the paper's MLP comparator [16] for
+Fig 12.  Inputs/targets are standardized internally so callers can pass raw
+features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X, check_Xy
+from .preprocess import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor:
+    """ReLU MLP with mini-batch Adam and internal standardization."""
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32, 16),
+        epochs: int = 60,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        l2: float = 1e-5,
+        random_state: int = 0,
+    ) -> None:
+        if not hidden:
+            raise ValueError("need at least one hidden layer")
+        self.hidden = tuple(int(h) for h in hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_scaler = StandardScaler()
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_in: int, rng: np.random.Generator) -> None:
+        sizes = [n_in, *self.hidden, 1]
+        self._weights, self._biases = [], []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            # He initialization for ReLU layers
+            self._weights.append(rng.normal(0.0, np.sqrt(2.0 / a), size=(a, b)))
+            self._biases.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        acts = [X]
+        h = X
+        for W, b in zip(self._weights[:-1], self._biases[:-1]):
+            h = np.maximum(h @ W + b, 0.0)
+            acts.append(h)
+        out = h @ self._weights[-1] + self._biases[-1]
+        return out[:, 0], acts
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        """Train with mini-batch Adam on standardized data."""
+        X, y = check_Xy(X, y)
+        rng = np.random.default_rng(self.random_state)
+        Xs = self._x_scaler.fit_transform(X)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        n = len(ys)
+        self._init_params(Xs.shape[1], rng)
+        m = [np.zeros_like(w) for w in self._weights]
+        v = [np.zeros_like(w) for w in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+
+        batch = min(self.batch_size, n)
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for s in range(0, n, batch):
+                idx = order[s : s + batch]
+                xb, yb = Xs[idx], ys[idx]
+                pred, acts = self._forward(xb)
+                # backprop of squared loss
+                delta = (2.0 / len(idx)) * (pred - yb)[:, None]
+                grads_w: list[np.ndarray] = [None] * len(self._weights)
+                grads_b: list[np.ndarray] = [None] * len(self._biases)
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    grads_w[layer] = (
+                        acts[layer].T @ delta + self.l2 * self._weights[layer]
+                    )
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ self._weights[layer].T
+                        delta = delta * (acts[layer] > 0)
+                t += 1
+                corr1 = 1 - beta1**t
+                corr2 = 1 - beta2**t
+                for layer in range(len(self._weights)):
+                    m[layer] = beta1 * m[layer] + (1 - beta1) * grads_w[layer]
+                    v[layer] = beta2 * v[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    mb[layer] = beta1 * mb[layer] + (1 - beta1) * grads_b[layer]
+                    vb[layer] = beta2 * vb[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    self._weights[layer] -= (
+                        self.learning_rate
+                        * (m[layer] / corr1)
+                        / (np.sqrt(v[layer] / corr2) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate
+                        * (mb[layer] / corr1)
+                        / (np.sqrt(vb[layer] / corr2) + eps)
+                    )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forward pass, de-standardized."""
+        if not self._weights:
+            raise RuntimeError("model not fitted")
+        X = check_X(X, len(self._x_scaler.mean_))
+        pred, _ = self._forward(self._x_scaler.transform(X))
+        return pred * self._y_scale + self._y_mean

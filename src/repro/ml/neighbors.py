@@ -1,0 +1,64 @@
+"""k-nearest-neighbors regression.
+
+A non-parametric baseline for the runtime-prediction zoo: predict the mean
+(or a quantile) of the k most similar historical jobs.  Distances are
+Euclidean over standardized features; queries are vectorized with one
+matrix of pairwise distances per prediction batch (chunked to bound
+memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X, check_Xy
+from .preprocess import StandardScaler
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """kNN regression with internal feature standardization."""
+
+    def __init__(self, k: int = 5, quantile: float | None = None, chunk: int = 512) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if quantile is not None and not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.k = k
+        self.quantile = quantile
+        self.chunk = chunk
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scaler = StandardScaler()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        """Memorize the (standardized) training set."""
+        X, y = check_Xy(X, y)
+        self._X = self._scaler.fit_transform(X)
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Aggregate the targets of the k nearest training rows."""
+        if self._X is None:
+            raise RuntimeError("model not fitted")
+        X = self._scaler.transform(check_X(X, self._X.shape[1]))
+        k = min(self.k, len(self._y))
+        out = np.empty(len(X))
+        train_sq = np.einsum("ij,ij->i", self._X, self._X)
+        for s in range(0, len(X), self.chunk):
+            q = X[s : s + self.chunk]
+            # squared distances via the expansion ||a-b|^2 = |a|^2+|b|^2-2ab
+            d2 = (
+                train_sq[None, :]
+                - 2.0 * q @ self._X.T
+                + np.einsum("ij,ij->i", q, q)[:, None]
+            )
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            neigh = self._y[idx]
+            if self.quantile is None:
+                out[s : s + self.chunk] = neigh.mean(axis=1)
+            else:
+                out[s : s + self.chunk] = np.quantile(neigh, self.quantile, axis=1)
+        return out

@@ -1,0 +1,84 @@
+"""Model validation utilities: k-fold and walk-forward cross-validation.
+
+Walk-forward (expanding window) is the correct protocol for job traces —
+each fold trains strictly on earlier submissions — mirroring how a
+production predictor would be retrained online.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .metrics import mse
+
+__all__ = ["kfold_indices", "cross_val_score", "walk_forward_score"]
+
+
+def kfold_indices(
+    n: int, k: int = 5, rng: np.random.Generator | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train_idx, test_idx) pairs covering all rows."""
+    if k < 2 or k > n:
+        raise ValueError("need 2 <= k <= n")
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    out = []
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        out.append((train, test))
+    return out
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mse,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Metric per fold for a fresh model per fold (lower = better for mse)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    scores = []
+    for train, test in kfold_indices(len(y), k, rng):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(metric(y[test], model.predict(X[test])))
+    return np.asarray(scores)
+
+
+def walk_forward_score(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 4,
+    min_train_fraction: float = 0.3,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mse,
+) -> np.ndarray:
+    """Expanding-window evaluation: fold *i* trains on everything before it.
+
+    Rows must already be in chronological order (as
+    :func:`repro.predict.build_dataset` guarantees).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = len(y)
+    start = int(n * min_train_fraction)
+    if start < 1 or n - start < n_folds:
+        raise ValueError("not enough rows for the requested folds")
+    edges = np.linspace(start, n, n_folds + 1).astype(int)
+    scores = []
+    for i in range(n_folds):
+        train = np.arange(edges[i])
+        test = np.arange(edges[i], edges[i + 1])
+        if len(test) == 0:
+            continue
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(metric(y[test], model.predict(X[test])))
+    return np.asarray(scores)

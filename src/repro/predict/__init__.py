@@ -1,0 +1,24 @@
+"""Use case 1: elapsed-time-aware job runtime prediction (paper §VI-A)."""
+
+from .features import FEATURE_NAMES, PredictionDataset, build_dataset
+from .harness import (
+    ArmResult,
+    ElapsedComparison,
+    augment_with_checkpoints,
+    run_use_case1,
+)
+from .models import EXTRA_MODEL_NAMES, MODEL_NAMES, RuntimePredictor, make_predictor
+
+__all__ = [
+    "build_dataset",
+    "PredictionDataset",
+    "FEATURE_NAMES",
+    "make_predictor",
+    "RuntimePredictor",
+    "MODEL_NAMES",
+    "EXTRA_MODEL_NAMES",
+    "run_use_case1",
+    "ElapsedComparison",
+    "ArmResult",
+    "augment_with_checkpoints",
+]

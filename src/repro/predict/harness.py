@@ -1,0 +1,160 @@
+"""The Fig 12 experiment: runtime prediction with vs. without elapsed time.
+
+Protocol (faithful to §VI-A's fair-comparison setup):
+
+1. Pick an elapsed threshold ``T`` — the paper uses 1/8, 1/4 and 1/2 of the
+   trace's mean runtime.
+2. Both arms predict only for jobs still alive at ``T`` (runtime > T), so
+   neither gets free wins on jobs that already finished.
+3. The *baseline* arm trains on all historical jobs with the base features.
+4. The *elapsed* arm trains on survival-augmented rows: every training job
+   contributes one row per elapsed checkpoint it survived (elapsed = 0,
+   T/2, T, 2T ...), with the elapsed value as an extra feature.  The model
+   thereby learns the conditional "given the job is still running at t"
+   structure that Fig 11 shows is strongly user-specific.
+5. Metrics: underestimation rate (smaller = better) and mean prediction
+   accuracy ``min/max`` (larger = better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml import prediction_accuracy, underestimation_rate
+from ..traces.schema import Trace
+from .features import PredictionDataset, build_dataset
+from .models import MODEL_NAMES, make_predictor
+
+__all__ = ["ArmResult", "ElapsedComparison", "run_use_case1", "augment_with_checkpoints"]
+
+
+@dataclass(frozen=True)
+class ArmResult:
+    """Metrics of one (model, threshold, arm) cell of Fig 12."""
+
+    model: str
+    elapsed_fraction: float
+    arm: str  # "baseline" | "elapsed"
+    underestimate_rate: float
+    avg_accuracy: float
+    n_test: int
+
+
+@dataclass
+class ElapsedComparison:
+    """All Fig 12 cells for one trace."""
+
+    system: str
+    mean_runtime: float
+    results: list[ArmResult]
+
+    def cell(self, model: str, fraction: float, arm: str) -> ArmResult:
+        """Look up one result cell."""
+        for r in self.results:
+            if (
+                r.model == model
+                and abs(r.elapsed_fraction - fraction) < 1e-9
+                and r.arm == arm
+            ):
+                return r
+        raise KeyError((model, fraction, arm))
+
+
+def augment_with_checkpoints(
+    train: PredictionDataset, threshold: float
+) -> tuple[np.ndarray, PredictionDataset]:
+    """Survival-augmented design matrix for the elapsed arm.
+
+    Each training job yields one row per checkpoint it survived, checkpoints
+    being ``{0, T/2, T, 2T, 4T}``.  Returns ``(X_aug, data_aug)`` with rows
+    aligned.
+    """
+    checkpoints = np.array(
+        [0.0, threshold / 2.0, threshold, 2.0 * threshold, 4.0 * threshold]
+    )
+    rows: list[np.ndarray] = []
+    masks: list[np.ndarray] = []
+    elapsed_vals: list[np.ndarray] = []
+    for cp in checkpoints:
+        alive = train.runtime > cp
+        if not alive.any():
+            continue
+        masks.append(alive)
+        sub = train.X[alive]
+        rows.append(sub)
+        elapsed_vals.append(np.full(int(alive.sum()), cp))
+    X = np.vstack(rows)
+    elapsed = np.concatenate(elapsed_vals)
+    X_aug = np.hstack([X, np.log1p(elapsed)[:, None]])
+    total_mask = np.concatenate(masks)
+    data_aug = PredictionDataset(
+        X=X,
+        runtime=np.concatenate([train.runtime[m] for m in masks]),
+        last2=np.concatenate([train.last2[m] for m in masks]),
+        censored=np.concatenate([train.censored[m] for m in masks]),
+        user=np.concatenate([train.user[m] for m in masks]),
+    )
+    del total_mask
+    return X_aug, data_aug
+
+
+def run_use_case1(
+    trace: Trace,
+    fractions: tuple[float, ...] = (0.125, 0.25, 0.5),
+    models: tuple[str, ...] = MODEL_NAMES,
+    train_fraction: float = 0.7,
+    max_jobs: int | None = 20_000,
+) -> ElapsedComparison:
+    """Run the full Fig 12 comparison on one trace."""
+    data = build_dataset(trace)
+    if max_jobs is not None and data.n > max_jobs:
+        # keep the chronological prefix (cheapest unbiased cut)
+        data = data.subset(np.arange(data.n) < max_jobs)
+    if data.n < 50:
+        raise ValueError("trace too small for the prediction experiment")
+
+    mean_rt = float(data.runtime.mean())
+    n_train = int(data.n * train_fraction)
+    train = data.subset(np.arange(data.n) < n_train)
+    test_all = data.subset(np.arange(data.n) >= n_train)
+
+    results: list[ArmResult] = []
+    for frac in fractions:
+        threshold = frac * mean_rt
+        alive = test_all.runtime > threshold
+        test = test_all.subset(alive)
+        if test.n == 0:
+            continue
+
+        for model_name in models:
+            # ---- baseline arm: base features, trained on all history -----
+            predictor = make_predictor(model_name)
+            predictor.fit(train, train.X)
+            pred_base = predictor.predict(test, test.X)
+
+            # ---- elapsed arm: survival-augmented training ------------------
+            predictor_e = make_predictor(model_name)
+            X_aug, train_aug = augment_with_checkpoints(train, threshold)
+            predictor_e.fit(train_aug, X_aug)
+            pred_elapsed = predictor_e.predict(test, test.with_elapsed(threshold))
+
+            for arm, pred in (("baseline", pred_base), ("elapsed", pred_elapsed)):
+                results.append(
+                    ArmResult(
+                        model=model_name,
+                        elapsed_fraction=frac,
+                        arm=arm,
+                        underestimate_rate=underestimation_rate(
+                            test.runtime, pred
+                        ),
+                        avg_accuracy=float(
+                            prediction_accuracy(test.runtime, pred).mean()
+                        ),
+                        n_test=test.n,
+                    )
+                )
+    return ElapsedComparison(
+        system=trace.system.name, mean_runtime=mean_rt, results=results
+    )

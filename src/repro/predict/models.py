@@ -1,0 +1,153 @@
+"""Runtime-prediction model zoo (the paper's Fig 12 comparators).
+
+Five families, as in the paper:
+
+* **Last2** — Tsafrir/Etsion/Feitelson system-generated predictions: the
+  average of the user's last two runtimes.  With elapsed time, the estimate
+  is floored at the observed elapsed time (a job alive at *t* runs >= *t*).
+* **Tobit** — Fan et al.'s censored regression; Killed jobs train as
+  right-censored observations.
+* **XGBoost** — gradient-boosted trees (our from-scratch GBM).
+* **LR** — ordinary least squares.
+* **MLP** — small ReLU network.
+
+All regression models fit log-runtime and exponentiate predictions (runtimes
+span 5+ decades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..ml import (
+    GradientBoostingRegressor,
+    KNeighborsRegressor,
+    LinearRegression,
+    MLPRegressor,
+    QuantileGradientBoosting,
+    TobitRegressor,
+)
+from .features import PredictionDataset
+
+__all__ = ["RuntimePredictor", "MODEL_NAMES", "EXTRA_MODEL_NAMES", "make_predictor"]
+
+#: the paper's Fig 12 model families
+MODEL_NAMES: tuple[str, ...] = ("last2", "tobit", "xgboost", "lr", "mlp")
+
+#: additional predictors this library ships beyond the paper
+EXTRA_MODEL_NAMES: tuple[str, ...] = ("knn", "xgb_q90")
+
+
+@dataclass
+class RuntimePredictor:
+    """A named predictor with a uniform train/predict interface.
+
+    ``fit(train, X)``/``predict(test, X)`` take the dataset (for targets,
+    censoring, and heuristic columns) plus the design matrix to use — the
+    harness controls whether that matrix includes the elapsed column.
+    """
+
+    name: str
+    _fit: Callable[["RuntimePredictor", PredictionDataset, np.ndarray], None]
+    _predict: Callable[["RuntimePredictor", PredictionDataset, np.ndarray], np.ndarray]
+    model: object = None
+
+    def fit(self, data: PredictionDataset, X: np.ndarray) -> "RuntimePredictor":
+        """Train on the given design matrix."""
+        self._fit(self, data, X)
+        return self
+
+    def predict(self, data: PredictionDataset, X: np.ndarray) -> np.ndarray:
+        """Predict runtimes in seconds."""
+        return self._predict(self, data, X)
+
+
+def _log_target(data: PredictionDataset) -> np.ndarray:
+    return np.log(np.maximum(data.runtime, 1.0))
+
+
+def _fit_regressor(factory: Callable[[], object]):
+    def fit(self: RuntimePredictor, data: PredictionDataset, X: np.ndarray) -> None:
+        self.model = factory()
+        self.model.fit(X, _log_target(data))
+
+    return fit
+
+
+def _predict_regressor(
+    self: RuntimePredictor, data: PredictionDataset, X: np.ndarray
+) -> np.ndarray:
+    return np.exp(self.model.predict(X))
+
+
+def _fit_tobit(self: RuntimePredictor, data: PredictionDataset, X: np.ndarray) -> None:
+    self.model = TobitRegressor()
+    self.model.fit(X, _log_target(data), censored=data.censored)
+
+
+def _fit_last2(self: RuntimePredictor, data: PredictionDataset, X: np.ndarray) -> None:
+    # heuristic: nothing to train; remember whether X carries elapsed info
+    self.model = X.shape[1]
+
+
+def _predict_last2(
+    self: RuntimePredictor, data: PredictionDataset, X: np.ndarray
+) -> np.ndarray:
+    base = data.last2.copy()
+    if X.shape[1] > data.X.shape[1]:
+        # elapsed column present: a job alive at t cannot finish before t
+        elapsed = np.expm1(X[:, -1])
+        base = np.maximum(base, elapsed * 1.05)
+    return base
+
+
+def make_predictor(name: str) -> RuntimePredictor:
+    """Instantiate a fresh predictor by paper name."""
+    key = name.lower()
+    if key == "last2":
+        return RuntimePredictor("last2", _fit_last2, _predict_last2)
+    if key == "tobit":
+        return RuntimePredictor("tobit", _fit_tobit, _predict_regressor)
+    if key == "xgboost":
+        return RuntimePredictor(
+            "xgboost",
+            _fit_regressor(
+                lambda: GradientBoostingRegressor(
+                    n_estimators=60, max_depth=4, learning_rate=0.15
+                )
+            ),
+            _predict_regressor,
+        )
+    if key == "lr":
+        return RuntimePredictor(
+            "lr", _fit_regressor(LinearRegression), _predict_regressor
+        )
+    if key == "mlp":
+        return RuntimePredictor(
+            "mlp",
+            _fit_regressor(
+                lambda: MLPRegressor(hidden=(32, 16), epochs=30, random_state=0)
+            ),
+            _predict_regressor,
+        )
+    if key == "knn":
+        return RuntimePredictor(
+            "knn",
+            _fit_regressor(lambda: KNeighborsRegressor(k=7)),
+            _predict_regressor,
+        )
+    if key == "xgb_q90":
+        # 90th-quantile boosting: the low-underestimation specialist
+        return RuntimePredictor(
+            "xgb_q90",
+            _fit_regressor(
+                lambda: QuantileGradientBoosting(q=0.9, n_estimators=50)
+            ),
+            _predict_regressor,
+        )
+    raise KeyError(
+        f"unknown model {name!r}; available: {MODEL_NAMES + EXTRA_MODEL_NAMES}"
+    )

@@ -1,0 +1,57 @@
+"""Discrete-event cluster scheduling simulator (SchedGym equivalent)."""
+
+from .backfill import EASY, NO_BACKFILL, BackfillConfig, adaptive_relaxed, relaxed
+from .cluster import Cluster
+from .conservative import simulate_conservative
+from .engine import SimResult, simulate
+from .export import result_to_trace
+from .job import SimWorkload, workload_from_trace
+from .metrics import (
+    BSLD_BOUND,
+    ScheduleMetrics,
+    bounded_slowdown,
+    compute_metrics,
+    observed_metrics,
+)
+from .nodes import NodeCluster, PackedSimResult, simulate_packed
+from .policies import POLICIES, FairSharePolicy, Policy, get_policy
+from .predictive import PredictiveOutcome, simulate_with_predictions
+from .profile import CapacityProfile
+from .virtual import (
+    VirtualClusterResult,
+    isolation_cost,
+    simulate_virtual_clusters,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_conservative",
+    "simulate_virtual_clusters",
+    "simulate_with_predictions",
+    "VirtualClusterResult",
+    "PredictiveOutcome",
+    "isolation_cost",
+    "CapacityProfile",
+    "NodeCluster",
+    "PackedSimResult",
+    "simulate_packed",
+    "SimResult",
+    "result_to_trace",
+    "SimWorkload",
+    "workload_from_trace",
+    "Cluster",
+    "Policy",
+    "FairSharePolicy",
+    "POLICIES",
+    "get_policy",
+    "BackfillConfig",
+    "EASY",
+    "NO_BACKFILL",
+    "relaxed",
+    "adaptive_relaxed",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "observed_metrics",
+    "bounded_slowdown",
+    "BSLD_BOUND",
+]

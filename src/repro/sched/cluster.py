@@ -1,0 +1,88 @@
+"""Cluster resource model.
+
+The simulator uses the same core-count abstraction as SchedGym: the cluster
+is a pool of interchangeable allocation units (CPU cores or GPUs), and a job
+occupies ``cores`` units for its runtime.  Network/placement effects are out
+of scope for the paper's experiments (its metrics — wait, bsld, util,
+violation — are all pool-level).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Pool of allocation units plus the running-job table.
+
+    Running jobs are kept in a dict with lazily rebuilt expected-end order;
+    ``finish`` is O(1) and ``reservation`` sorts only when the running set
+    changed since the last scan.
+    """
+
+    __slots__ = ("capacity", "free", "_running", "_sorted_cache")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.free = int(capacity)
+        # job index -> (expected_end_by_walltime, cores)
+        self._running: dict[int, tuple[float, int]] = {}
+        self._sorted_cache: list[tuple[float, int]] | None = None
+
+    def can_start(self, cores: int) -> bool:
+        """Whether ``cores`` units are free right now."""
+        return cores <= self.free
+
+    def start(self, job: int, cores: int, expected_end: float) -> None:
+        """Allocate ``cores`` units to ``job`` until ~``expected_end``."""
+        if cores > self.free:
+            raise RuntimeError(
+                f"allocation of {cores} exceeds free capacity {self.free}"
+            )
+        self.free -= cores
+        self._running[job] = (expected_end, cores)
+        self._sorted_cache = None
+
+    def finish(self, job: int) -> None:
+        """Release the units held by ``job``."""
+        _end, cores = self._running.pop(job)
+        self.free += cores
+        self._sorted_cache = None
+
+    @property
+    def used(self) -> int:
+        """Units currently allocated."""
+        return self.capacity - self.free
+
+    @property
+    def num_running(self) -> int:
+        """Number of running jobs."""
+        return len(self._running)
+
+    def _sorted_running(self) -> list[tuple[float, int]]:
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._running.values())
+        return self._sorted_cache
+
+    def reservation(self, cores: int, now: float) -> tuple[float, int]:
+        """Earliest time ``cores`` units will be free, per walltime estimates.
+
+        Returns ``(shadow_time, extra)`` where ``extra`` is how many units
+        remain free at the shadow time beyond the reservation — the classic
+        EASY-backfilling pair.  Assumes running jobs end at their *expected*
+        ends (walltime-based), which is exactly the information a production
+        scheduler has.
+        """
+        if cores <= self.free:
+            return now, self.free - cores
+        free = self.free
+        # walk running jobs in expected-end order until enough frees up
+        for end, c in self._sorted_running():
+            free += c
+            if free >= cores:
+                return max(end, now), free - cores
+        raise RuntimeError(
+            f"reservation impossible: {cores} exceeds capacity {self.capacity}"
+        )

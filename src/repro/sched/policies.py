@@ -1,0 +1,142 @@
+"""Queue ordering policies.
+
+A policy maps queued-job attributes to a priority *score*; the scheduler
+serves the lowest score first.  Includes the classic baselines the paper's
+simulator (SchedGym) ships: FCFS, SJF, LJF, smallest/largest-first, WFP3 and
+UNICEF/F1-style heuristics from the RLScheduler line of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Policy", "FairSharePolicy", "POLICIES", "get_policy"]
+
+#: signature: (submit, cores, walltime, now) -> score array (lower = first)
+ScoreFn = Callable[[np.ndarray, np.ndarray, np.ndarray, float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """Named queue-ordering policy."""
+
+    name: str
+    description: str
+    score: ScoreFn
+
+    def order(
+        self,
+        submit: np.ndarray,
+        cores: np.ndarray,
+        walltime: np.ndarray,
+        now: float,
+        **context,
+    ) -> np.ndarray:
+        """Indices of queued jobs from highest to lowest priority.
+
+        Ties broken by submission order (FCFS) for determinism.  Extra
+        ``context`` (user ids, usage) is ignored by stateless policies.
+        """
+        scores = self.score(submit, cores, walltime, now)
+        return np.lexsort((submit, scores))
+
+
+def _fcfs(submit, cores, walltime, now):
+    return submit
+
+
+def _sjf(submit, cores, walltime, now):
+    return walltime
+
+
+def _ljf(submit, cores, walltime, now):
+    return -walltime
+
+
+def _smallest(submit, cores, walltime, now):
+    return cores.astype(float)
+
+
+def _largest(submit, cores, walltime, now):
+    return -cores.astype(float)
+
+
+def _wfp3(submit, cores, walltime, now):
+    # WFP3 (Tang et al.): favor long-waiting jobs, penalize big/long requests
+    wait = np.maximum(now - submit, 0.0)
+    return -((wait / np.maximum(walltime, 1.0)) ** 3) * cores
+
+
+def _unicef(submit, cores, walltime, now):
+    # UNICEF: wait time normalized by log-size * walltime (favors small-short)
+    wait = np.maximum(now - submit, 0.0)
+    return -wait / (np.log2(np.maximum(cores, 2.0)) * np.maximum(walltime, 1.0))
+
+
+def _f1(submit, cores, walltime, now):
+    # F1 from Carastan-Santos & de Camargo's learned-function family
+    return (
+        np.log10(np.maximum(walltime, 1.0)) * cores
+        + 8.70e2 * np.log10(np.maximum(submit, 1.0))
+    )
+
+
+class FairSharePolicy(Policy):
+    """Usage-decayed fair sharing (the scheduler family Philly ran).
+
+    Each user's priority falls with their recent resource consumption:
+    score = usage(user) / target_share, then FCFS within equal usage.  The
+    engine supplies per-user decayed core-second usage via ``context``.
+    """
+
+    def __init__(self, half_life_hours: float = 24.0) -> None:
+        super().__init__(
+            name="fairshare",
+            description="usage-decayed fair sharing",
+            score=_fcfs,  # fallback when no context is supplied
+        )
+        if half_life_hours <= 0:
+            raise ValueError("half_life_hours must be positive")
+        object.__setattr__(self, "half_life_hours", half_life_hours)
+
+    def order(
+        self,
+        submit: np.ndarray,
+        cores: np.ndarray,
+        walltime: np.ndarray,
+        now: float,
+        **context,
+    ) -> np.ndarray:
+        usage = context.get("usage")
+        if usage is None:
+            return super().order(submit, cores, walltime, now)
+        return np.lexsort((submit, np.asarray(usage, dtype=float)))
+
+
+POLICIES: dict[str, Policy] = {
+    p.name: p
+    for p in (
+        Policy("fcfs", "first come, first served", _fcfs),
+        Policy("sjf", "shortest (requested) job first", _sjf),
+        Policy("ljf", "longest (requested) job first", _ljf),
+        Policy("smallest", "fewest cores first", _smallest),
+        Policy("largest", "most cores first", _largest),
+        Policy("wfp3", "WFP3 utility (wait/walltime)^3 * cores", _wfp3),
+        Policy("unicef", "UNICEF wait/(log2(cores)*walltime)", _unicef),
+        Policy("f1", "F1 learned linear-log scoring", _f1),
+    )
+}
+POLICIES["fairshare"] = FairSharePolicy()
+
+
+def get_policy(name: str) -> Policy:
+    """Look up a policy by name."""
+    try:
+        return POLICIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

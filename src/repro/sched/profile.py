@@ -1,0 +1,120 @@
+"""Future-availability profile for conservative backfilling.
+
+A :class:`CapacityProfile` is a step function of free cores over future
+time, built from running jobs' expected completions and already-made
+reservations.  ``earliest_fit`` finds the first instant a job of given size
+fits for its whole (estimated) duration; ``reserve`` commits capacity.
+
+This is the standard data structure behind conservative backfilling
+(every queued job holds a reservation) as described by Mu'alem & Feitelson.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CapacityProfile"]
+
+
+class CapacityProfile:
+    """Step function of free capacity over ``[now, inf)``."""
+
+    __slots__ = ("_times", "_free", "capacity")
+
+    def __init__(self, capacity: int, now: float) -> None:
+        self.capacity = int(capacity)
+        self._times: list[float] = [now]
+        self._free: list[int] = [capacity]
+
+    @classmethod
+    def from_running(
+        cls,
+        capacity: int,
+        now: float,
+        ends: np.ndarray,
+        cores: np.ndarray,
+    ) -> "CapacityProfile":
+        """Profile induced by running jobs that free ``cores`` at ``ends``."""
+        profile = cls(capacity, now)
+        for end, c in zip(ends, cores):
+            profile._subtract(now, max(float(end), now), int(c))
+        return profile
+
+    # ------------------------------------------------------------------
+    def _index_at(self, t: float) -> int:
+        """Index of the step containing time ``t`` (steps start at _times)."""
+        lo, hi = 0, len(self._times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._times[mid] <= t:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _ensure_breakpoint(self, t: float) -> int:
+        """Split the step containing ``t`` so ``t`` becomes a breakpoint."""
+        i = self._index_at(t)
+        if self._times[i] == t:
+            return i
+        self._times.insert(i + 1, t)
+        self._free.insert(i + 1, self._free[i])
+        return i + 1
+
+    def _subtract(self, start: float, end: float, cores: int) -> None:
+        """Remove ``cores`` of free capacity over ``[start, end)``."""
+        if end <= start or cores == 0:
+            return
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end)
+        for k in range(i, j):
+            self._free[k] -= cores
+            if self._free[k] < 0:
+                raise RuntimeError("capacity profile went negative")
+
+    # ------------------------------------------------------------------
+    def free_at(self, t: float) -> int:
+        """Free capacity at time ``t``."""
+        return self._free[self._index_at(t)]
+
+    def earliest_fit(self, cores: int, duration: float, not_before: float) -> float:
+        """Earliest start >= ``not_before`` where ``cores`` fit for ``duration``.
+
+        Scans the step function once; the final step extends to infinity with
+        full eventual capacity, so a fit always exists for ``cores`` <=
+        capacity.
+        """
+        if cores > self.capacity:
+            raise ValueError("request exceeds capacity")
+        n = len(self._times)
+        i = self._index_at(max(not_before, self._times[0]))
+        candidate = max(not_before, self._times[i])
+        k = i
+        while True:
+            if k >= n:
+                return candidate  # tail: capacity fully free
+            if self._free[k] < cores:
+                # blocked: next candidate is the start of the following step
+                k += 1
+                if k >= n:
+                    raise RuntimeError("profile never frees enough capacity")
+                candidate = self._times[k]
+                continue
+            # step k satisfies; check whether the window [candidate,
+            # candidate+duration) stays satisfied through later steps
+            end = candidate + duration
+            j = k + 1
+            ok = True
+            while j < n and self._times[j] < end:
+                if self._free[j] < cores:
+                    candidate = self._times[j]  # restart after the dip...
+                    k = j
+                    ok = False
+                    break
+                j += 1
+            if ok:
+                return candidate
+
+    def reserve(self, start: float, duration: float, cores: int) -> None:
+        """Commit ``cores`` over ``[start, start+duration)``."""
+        self._subtract(start, start + duration, cores)

@@ -1,0 +1,96 @@
+"""Workload mixing: project future hybrid (HPC + DL) workloads.
+
+The paper's motivation is that DL jobs are *entering* traditional HPC
+clusters (Blue Waters being the early example).  This module builds such
+futures synthetically: overlay a DL trace's jobs onto an HPC trace's
+cluster, scaling GPU counts to node-equivalents, so the scheduler
+simulator can quantify how a growing DL share changes waits, slowdown and
+utilization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Frame
+from .schema import CANONICAL_COLUMNS, Trace
+
+__all__ = ["mix_traces"]
+
+
+def mix_traces(
+    base: Trace,
+    extra: Trace,
+    extra_job_fraction: float,
+    core_scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> Trace:
+    """Overlay a thinned copy of ``extra``'s jobs onto ``base``.
+
+    Parameters
+    ----------
+    base:
+        The host trace (its system defines the cluster).
+    extra:
+        The foreign workload (e.g. a DL trace).
+    extra_job_fraction:
+        Target share of the *mixed* trace's jobs coming from ``extra``
+        (0 = pure base, 0.5 = half/half).  Extra jobs are thinned uniformly
+        at random to hit the target; their submit times are rescaled to
+        cover the base trace's window.
+    core_scale:
+        Multiplier mapping the extra system's units onto the base system's
+        (e.g. 64 maps 1 GPU onto one 64-core node).  Results are clipped
+        to the base system's capacity.
+    """
+    if not 0.0 <= extra_job_fraction < 1.0:
+        raise ValueError("extra_job_fraction must be in [0, 1)")
+    if extra_job_fraction == 0.0:
+        return Trace(base.system, base.jobs.select(list(CANONICAL_COLUMNS)), dict(base.meta))
+    rng = rng or np.random.default_rng(0)
+
+    n_base = base.num_jobs
+    n_extra_target = int(n_base * extra_job_fraction / (1.0 - extra_job_fraction))
+    n_extra_avail = extra.num_jobs
+    keep_prob = min(1.0, n_extra_target / max(n_extra_avail, 1))
+    keep = rng.random(n_extra_avail) < keep_prob
+    foreign = extra.jobs.filter(keep)
+
+    # remap foreign submit times onto the base window
+    b0 = float(base["submit_time"].min())
+    b1 = float(base["submit_time"].max())
+    f = foreign["submit_time"]
+    f0, f1 = (float(f.min()), float(f.max())) if len(f) else (0.0, 1.0)
+    span = max(f1 - f0, 1.0)
+    remapped = b0 + (f - f0) / span * (b1 - b0)
+
+    capacity = base.system.schedulable_units
+    cores = np.clip(
+        np.maximum((foreign["cores"] * core_scale).astype(np.int64), 1),
+        1,
+        capacity,
+    )
+    user_offset = int(base["user_id"].max()) + 1
+
+    foreign_frame = Frame(
+        {
+            "job_id": foreign["job_id"] + int(base["job_id"].max()) + 1,
+            "user_id": foreign["user_id"] + user_offset,
+            "submit_time": remapped,
+            "wait_time": foreign["wait_time"],
+            "runtime": foreign["runtime"],
+            "cores": cores,
+            "req_walltime": foreign["req_walltime"],
+            "status": foreign["status"],
+            "vc": foreign["vc"],
+        }
+    )
+    cols = list(CANONICAL_COLUMNS)
+    mixed = Frame.concat(
+        [base.jobs.select(cols), foreign_frame.select(cols)]
+    ).sort_by("submit_time")
+    meta = dict(base.meta)
+    meta["mixed_from"] = extra.system.name
+    meta["extra_job_fraction"] = extra_job_fraction
+    meta["core_scale"] = core_scale
+    return Trace(system=base.system, jobs=mixed, meta=meta)

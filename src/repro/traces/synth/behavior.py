@@ -1,0 +1,172 @@
+"""Behavioural models layered on the raw arrival stream.
+
+Three models, each matching one family of paper observations:
+
+* :class:`StatusModel` — final job status conditioned on runtime/size class
+  (Fig 6, 7, 11): pass-rate falls with runtime everywhere, with size only on
+  DL systems; Failed jobs die early (truncated runtimes), Killed jobs run
+  long and therefore dominate wasted core-hours.
+* :class:`WaitModel` — observed queue waits with class-dependent multipliers
+  (Fig 4, 5): middle-size and long jobs wait longest.
+* :class:`QueueFeedback` — users shrink requests when the queue is long
+  (Fig 9), and on DL systems also submit shorter jobs (Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..categorize import LENGTH_EDGES, length_class
+from ..schema import JobStatus
+from .distributions import Distribution
+
+__all__ = [
+    "StatusModel",
+    "WaitModel",
+    "QueueFeedback",
+    "queue_length_at_submit",
+    "LENGTH_EDGES",
+]
+
+
+@dataclass(frozen=True)
+class StatusModel:
+    """P(status | length class, size class) plus early-failure truncation.
+
+    ``pass_by_length``/``killed_share`` give, per runtime class, the pass
+    probability and the share of non-passes that are Killed (the rest are
+    Failed).  ``size_penalty`` multiplies the pass probability per size
+    class (DL clusters only in the paper; identity for HPC).
+    """
+
+    pass_by_length: tuple  # (short, middle, long)
+    killed_share: tuple  # fraction of non-passed jobs that are Killed
+    size_penalty: tuple = (1.0, 1.0, 1.0)
+    #: failed jobs die at U(lo, hi) of their intended runtime
+    failed_truncation: tuple = (0.02, 0.4)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        runtime: np.ndarray,
+        size_cls: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(status, adjusted_runtime)`` arrays."""
+        runtime = np.asarray(runtime, dtype=float)
+        lc = length_class(runtime)
+        p_pass = np.asarray(self.pass_by_length)[lc]
+        p_pass = p_pass * np.asarray(self.size_penalty)[size_cls]
+        p_pass = np.clip(p_pass, 0.0, 1.0)
+        u = rng.random(len(runtime))
+        passed = u < p_pass
+        k_share = np.asarray(self.killed_share)[lc]
+        killed = ~passed & (rng.random(len(runtime)) < k_share)
+        status = np.full(len(runtime), int(JobStatus.FAILED), dtype=np.int64)
+        status[passed] = int(JobStatus.PASSED)
+        status[killed] = int(JobStatus.KILLED)
+
+        adjusted = runtime.copy()
+        failed = status == int(JobStatus.FAILED)
+        n_failed = int(failed.sum())
+        if n_failed:
+            lo, hi = self.failed_truncation
+            adjusted[failed] = np.maximum(
+                1.0, runtime[failed] * rng.uniform(lo, hi, n_failed)
+            )
+        return status, adjusted
+
+
+@dataclass(frozen=True)
+class WaitModel:
+    """Observed wait times with size/length multipliers.
+
+    The base distribution sets the system's overall wait scale (Fig 4);
+    ``size_mult``/``length_mult`` reshape it per class to reproduce the
+    Fig 5 correlations (e.g. middle-size jobs waiting longest).  A fraction
+    of jobs starts immediately (idle-resource hits).
+    """
+
+    base: Distribution
+    zero_wait_fraction: float
+    size_mult: tuple = (1.0, 1.0, 1.0)
+    length_mult: tuple = (1.0, 1.0, 1.0)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        size_cls: np.ndarray,
+        runtime: np.ndarray,
+    ) -> np.ndarray:
+        """Draw a wait per job."""
+        n = len(runtime)
+        wait = self.base.sample(rng, n)
+        wait = wait * np.asarray(self.size_mult)[np.asarray(size_cls)]
+        wait = wait * np.asarray(self.length_mult)[length_class(runtime)]
+        zero = rng.random(n) < self.zero_wait_fraction
+        wait[zero] = rng.uniform(0.0, 5.0, int(zero.sum()))
+        return np.maximum(wait, 0.0)
+
+
+def queue_length_at_submit(submit: np.ndarray, wait: np.ndarray) -> np.ndarray:
+    """Number of queued jobs at each job's submission instant.
+
+    A job is queued at time *t* when ``submit <= t < submit + wait``.
+    ``submit`` must be sorted ascending.  Fully vectorized: submissions up
+    to *t* are a prefix; started jobs are counted with a sorted search over
+    start times.
+    """
+    submit = np.asarray(submit, dtype=float)
+    starts = np.sort(submit + np.asarray(wait, dtype=float))
+    arrived = np.arange(1, len(submit) + 1)
+    started = np.searchsorted(starts, submit, side="right")
+    return arrived - started
+
+
+@dataclass(frozen=True)
+class QueueFeedback:
+    """Load-adaptive submission behaviour (Fig 9, 10).
+
+    When the queue at submission falls in class *c* (thirds of the max
+    observed queue length), a job is downgraded to a minimal request with
+    probability ``minimal_size_prob[c]``; on systems where runtimes react
+    to load (the DL clusters), it is also shortened with probability
+    ``short_runtime_prob[c]`` by redrawing from ``short_runtime_dist``.
+    """
+
+    minimal_size_prob: tuple = (0.0, 0.0, 0.0)
+    short_runtime_prob: tuple | None = None
+    short_runtime_dist: Distribution | None = None
+
+    def apply(
+        self,
+        rng: np.random.Generator,
+        queue_len: np.ndarray,
+        cores: np.ndarray,
+        runtime: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return load-adjusted ``(cores, runtime)``."""
+        q = np.asarray(queue_len, dtype=float)
+        q_max = q.max() if len(q) else 0.0
+        if q_max <= 0:
+            return cores, runtime
+        q_cls = np.minimum((q / (q_max / 3.0 + 1e-12)).astype(int), 2)
+
+        cores = np.asarray(cores).copy()
+        runtime = np.asarray(runtime, dtype=float).copy()
+
+        p_min = np.asarray(self.minimal_size_prob)[q_cls]
+        shrink = rng.random(len(cores)) < p_min
+        cores[shrink] = 1
+
+        if self.short_runtime_prob is not None and self.short_runtime_dist is not None:
+            p_short = np.asarray(self.short_runtime_prob)[q_cls]
+            shorten = rng.random(len(runtime)) < p_short
+            n_short = int(shorten.sum())
+            if n_short:
+                replacement = np.maximum(
+                    self.short_runtime_dist.sample(rng, n_short), 1.0
+                )
+                runtime[shorten] = np.minimum(runtime[shorten], replacement)
+        return cores, runtime

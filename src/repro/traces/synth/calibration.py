@@ -1,0 +1,589 @@
+"""Per-system generator calibrations.
+
+Every number here traces back to a quantitative claim in the paper (noted
+inline).  Calibrations are *budgeted*: per-system job rates were solved from
+
+    jobs_per_day = util_target * capacity * 86400 / E[cores * runtime]
+
+so that the offered load reproduces the paper's Fig 3 utilizations, while
+size-conditional runtime distributions reproduce the Fig 2 core-hour
+domination shares.  Measured-vs-target outcomes live in EXPERIMENTS.md and
+are checked by ``tests/test_calibration.py``.
+
+Target shapes per system:
+
+=========== ============ ============ ======== =========== =========
+system      median run   median gap   1-unit   util target  passed %
+=========== ============ ============ ======== =========== =========
+Mira        ~1.5 h       ~100 s       rare     ~0.88        ~70%
+Theta       ~1 h         ~100 s       rare     ~0.87        ~65%
+Blue Waters ~1.5 h       ~5-10 s      few      ~0.72        ~65%
+Philly      ~12 min      ~5-10 s      ~80%     ~0.43        ~60%
+Helios      ~90 s        ~5-10 s      ~80%     ~0.6         ~65%
+=========== ============ ============ ======== =========== =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..systems import (
+    BLUE_WATERS,
+    HELIOS,
+    MIRA,
+    PHILLY,
+    THETA,
+    SystemSpec,
+)
+from .behavior import QueueFeedback, StatusModel, WaitModel
+from .distributions import (
+    ClippedDist,
+    DiscreteDist,
+    Distribution,
+    LogNormalDist,
+    MixtureDist,
+    SizeConditionalRuntime,
+)
+from .diurnal import (
+    DiurnalProfile,
+    afternoon_profile,
+    dipped_profile,
+    peaked_profile,
+)
+
+__all__ = ["SystemCalibration", "get_calibration", "CALIBRATIONS"]
+
+
+@dataclass(frozen=True)
+class SystemCalibration:
+    """Complete parameter set for one system's trace generator."""
+
+    system: SystemSpec
+    jobs_per_day: float
+    n_users: int
+    configs_per_user_mean: float
+    config_zipf_s: float
+    config_stickiness: float
+    size_dist: Distribution
+    size_rounding: int
+    runtime_dist: Distribution | SizeConditionalRuntime
+    runtime_jitter_sigma: float
+    session_mean_jobs: float
+    gap_dist: Distribution
+    diurnal: DiurnalProfile
+    wait: WaitModel
+    status: StatusModel
+    queue_feedback: QueueFeedback
+    #: requested-walltime factor over actual runtime; None when the trace
+    #: has no walltimes (the DL systems, per §VI-B)
+    walltime_factor: Distribution | None = None
+    #: round requested walltime up to this granularity (seconds)
+    walltime_granularity: float = 1800.0
+    vacancy_fraction: float = 0.0
+    vacancy_keep: float = 1.0
+    #: fraction of jobs running on the GPU pool (Blue Waters only)
+    gpu_fraction: float = 0.0
+    #: Zipf exponent of per-user submission-rate skew (Fig 11 heavy users)
+    activity_zipf_s: float = 0.6
+    #: cap on core-seconds of a single config run (capability walltime limit)
+    max_config_core_seconds: float | None = None
+    #: exponent damping submission frequency of expensive configs
+    cost_damping: float = 0.0
+    #: core-seconds where cost damping starts (default: 10 machine-minutes)
+    cost_ref: float = 1.0
+    notes: dict = field(default_factory=dict, compare=False)
+
+
+def _ln(median: float, sigma: float) -> LogNormalDist:
+    return LogNormalDist(median, sigma)
+
+
+def _mira() -> SystemCalibration:
+    # Mira: capability HPC. >50% of jobs >1000 cores (Fig 1c); median runtime
+    # ~1.5h, stable (Fig 1a); arrival median ~100s (Fig 1b); core-hour shares
+    # small/middle/large ~= 30/45/25 (Fig 2: small <35%); long jobs ~99%
+    # killed (Fig 7b); ~70% passed overall (Fig 6).
+    size = DiscreteDist.of(
+        (0.19, 512),
+        (0.13, 1024),
+        (0.12, 2048),
+        (0.11, 4096),
+        (0.15, 8192),
+        (0.11, 16384),
+        (0.07, 32768),
+        (0.053, 65536),
+        (0.042, 131072),   # middle class: >78,643 cores
+        (0.013, 196608),
+        (0.007, 262144),   # large class: >235,930 cores
+        (0.0035, 393216),
+        (0.0015, 786432),
+    )
+    runtime = SizeConditionalRuntime(
+        buckets=(
+            # small jobs: E[rt] ~ 7.4 ks, median ~4.3 ks (~1.2 h)
+            (
+                65536,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.30, _ln(1500.0, 0.7)),
+                        (0.55, _ln(5400.0, 0.7)),
+                        (0.13, _ln(18000.0, 0.5)),
+                        (0.02, _ln(100000.0, 0.4)),
+                    ),
+                    120.0,
+                    3.0 * 86400.0,
+                ),
+            ),
+            # middle-size jobs: E[rt] ~ 20.4 ks (drives Fig 2 domination)
+            (
+                196608,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.80, _ln(12000.0, 0.7)),
+                        (0.20, _ln(36000.0, 0.5)),
+                    ),
+                    300.0,
+                    3.0 * 86400.0,
+                ),
+            ),
+            # large capability jobs: E[rt] ~ 21.1 ks
+            (
+                float("inf"),
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.75, _ln(14400.0, 0.6)),
+                        (0.25, _ln(28800.0, 0.5)),
+                    ),
+                    300.0,
+                    3.0 * 86400.0,
+                ),
+            ),
+        )
+    )
+    return SystemCalibration(
+        system=MIRA,
+        jobs_per_day=285.0,      # tuned: util ~0.85 incl. cost damping
+        n_users=300,
+        configs_per_user_mean=8.0,
+        config_zipf_s=2.0,       # Fig 8: top-3 groups >80% for HPC
+        config_stickiness=0.85,
+        size_dist=size,
+        size_rounding=512,       # Mira schedules in 512-core blocks
+        runtime_dist=runtime,
+        runtime_jitter_sigma=0.05,  # "relatively stable job run times"
+        session_mean_jobs=3.0,
+        gap_dist=_ln(90.0, 1.2),    # median interval ~100s
+        diurnal=afternoon_profile(1.4),  # slight post-noon bump, no peak
+        wait=WaitModel(
+            base=_ln(900.0, 1.6),
+            zero_wait_fraction=0.15,
+            size_mult=(1.0, 2.4, 1.2),    # middle-size waits longest (Fig 5)
+            length_mult=(0.6, 1.0, 2.4),  # long waits longest (Fig 5)
+        ),
+        status=StatusModel(
+            pass_by_length=(0.84, 0.62, 0.01),  # Mira long jobs ~99% killed
+            killed_share=(0.55, 0.75, 0.99),
+        ),
+        queue_feedback=QueueFeedback(minimal_size_prob=(0.0, 0.0, 0.0)),
+        walltime_factor=ClippedDist(_ln(1.8, 0.5), 1.05, 12.0),
+        max_config_core_seconds=0.10 * 786432 * 86400.0,
+        cost_damping=0.3,
+        cost_ref=786432 * 600.0,
+        notes={"window": "2019-08~2019-12 (paper), synthetic equivalent"},
+    )
+
+
+def _theta() -> SystemCalibration:
+    # Theta: small jobs only ~16% of core-hours (Fig 2); the one system where
+    # the *largest* jobs wait longest (Fig 5); median runtime ~1h.
+    size = DiscreteDist.of(
+        (0.10, 256),
+        (0.14, 1024),
+        (0.18, 4096),
+        (0.18, 8192),
+        (0.14, 16384),
+        (0.13, 32768),     # middle class: >28,109 cores
+        (0.08, 65536),
+        (0.04, 131072),    # large class: >84,327 cores
+        (0.01, 262144),
+    )
+    runtime = SizeConditionalRuntime(
+        buckets=(
+            # small: E[rt] ~ 4.1 ks
+            (
+                16384,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.40, _ln(900.0, 0.8)),
+                        (0.45, _ln(3600.0, 0.7)),
+                        (0.13, _ln(9000.0, 0.5)),
+                        (0.02, _ln(100000.0, 0.4)),
+                    ),
+                    60.0,
+                    3.0 * 86400.0,
+                ),
+            ),
+            # middle: E[rt] ~ 6.9 ks
+            (
+                65536,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.85, _ln(4200.0, 0.7)),
+                        (0.15, _ln(14400.0, 0.4)),
+                    ),
+                    120.0,
+                    3.0 * 86400.0,
+                ),
+            ),
+            # large: E[rt] ~ 5.4 ks
+            (float("inf"), ClippedDist(_ln(4500.0, 0.6), 120.0, 3.0 * 86400.0)),
+        )
+    )
+    return SystemCalibration(
+        system=THETA,
+        jobs_per_day=215.0,    # tuned: util ~0.85 incl. cost damping
+        n_users=250,
+        configs_per_user_mean=8.0,
+        config_zipf_s=2.0,
+        config_stickiness=0.85,
+        size_dist=size,
+        size_rounding=64,       # 64-core nodes
+        runtime_dist=runtime,
+        runtime_jitter_sigma=0.05,
+        session_mean_jobs=3.0,
+        gap_dist=_ln(90.0, 1.2),
+        diurnal=afternoon_profile(1.3),
+        wait=WaitModel(
+            base=_ln(1500.0, 1.7),
+            zero_wait_fraction=0.10,
+            size_mult=(1.0, 1.6, 2.8),   # Theta: large waits longest (Fig 5)
+            length_mult=(0.6, 1.0, 2.2),
+        ),
+        status=StatusModel(
+            pass_by_length=(0.80, 0.55, 0.08),
+            killed_share=(0.50, 0.70, 0.95),
+        ),
+        queue_feedback=QueueFeedback(minimal_size_prob=(0.0, 0.0, 0.0)),
+        walltime_factor=ClippedDist(_ln(1.8, 0.5), 1.05, 12.0),
+        max_config_core_seconds=0.10 * 281088 * 86400.0,
+        cost_damping=0.3,
+        cost_ref=281088 * 600.0,
+        notes={"window": "2022-12~2023-05 (paper), synthetic equivalent"},
+    )
+
+
+def _blue_waters() -> SystemCalibration:
+    # Blue Waters: hybrid; median requested ~32 nodes (~1024 cores, here in
+    # core units with 32-core nodes); ~90% of jobs >10 cores; small jobs >85%
+    # of core-hours (Fig 2) -- achieved by small-long / large-short coupling;
+    # longest waits of all systems (>50% wait >1.5h, Fig 4); 5-10s arrivals.
+    size = DiscreteDist.of(
+        (0.040, 1),        # 'Minimal' jobs exist (Fig 9)
+        (0.060, 8),
+        (0.145, 32),       # 1 node
+        (0.160, 128),
+        (0.180, 512),
+        (0.160, 1024),     # median ~32 nodes
+        (0.110, 2048),
+        (0.070, 4096),
+        (0.045, 8192),
+        (0.020, 16384),
+        (0.008, 32768),
+        (0.0015, 65536),   # middle class: >39,600 cores
+        (0.0005, 131072),  # large class: >118,800 cores
+    )
+    runtime = SizeConditionalRuntime(
+        buckets=(
+            # tiny jobs run LONG (analysis/serial workloads): E[rt] ~ 28 ks
+            (
+                32,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.40, _ln(7200.0, 1.0)),
+                        (0.45, _ln(21600.0, 0.9)),
+                        (0.15, _ln(43200.0, 0.8)),
+                    ),
+                    10.0,
+                    7.0 * 86400.0,
+                ),
+            ),
+            # the bulk: E[rt] ~ 7.3 ks, median ~4.5 ks
+            (
+                2048,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.30, _ln(600.0, 1.1)),
+                        (0.50, _ln(5400.0, 0.8)),
+                        (0.20, _ln(12600.0, 0.7)),
+                    ),
+                    5.0,
+                    7.0 * 86400.0,
+                ),
+            ),
+            # big jobs are short capability bursts: E[rt] ~ 1.3 ks
+            (
+                float("inf"),
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.60, _ln(300.0, 1.0)),
+                        (0.35, _ln(1500.0, 0.8)),
+                        (0.05, _ln(5400.0, 0.5)),
+                    ),
+                    5.0,
+                    2.0 * 86400.0,
+                ),
+            ),
+        )
+    )
+    return SystemCalibration(
+        system=BLUE_WATERS,
+        jobs_per_day=5400.0,   # budget: util ~0.73 at E[cores*rt] ~ 5.7e6 (tuned)
+        n_users=800,
+        configs_per_user_mean=8.0,
+        config_zipf_s=2.0,
+        config_stickiness=0.85,
+        size_dist=size,
+        size_rounding=1,
+        runtime_dist=runtime,
+        runtime_jitter_sigma=0.06,
+        session_mean_jobs=6.0,
+        gap_dist=_ln(6.0, 1.1),     # median interval 5-10s
+        diurnal=peaked_profile(3.0),  # visible peak hours
+        wait=WaitModel(
+            base=_ln(5500.0, 1.5),    # >50% wait > 1.5h (Fig 4)
+            zero_wait_fraction=0.08,
+            size_mult=(1.0, 2.2, 1.3),
+            length_mult=(0.6, 1.0, 2.2),
+        ),
+        status=StatusModel(
+            pass_by_length=(0.80, 0.58, 0.15),
+            killed_share=(0.45, 0.70, 0.92),
+        ),
+        queue_feedback=QueueFeedback(minimal_size_prob=(0.005, 0.02, 0.06)),
+        walltime_factor=ClippedDist(_ln(1.8, 0.5), 1.05, 12.0),
+        gpu_fraction=0.12,
+        max_config_core_seconds=0.05 * 396000 * 86400.0,
+        cost_damping=0.3,
+        cost_ref=396000 * 600.0,
+        notes={"window": "2019-08~2019-12 (paper), synthetic equivalent"},
+    )
+
+
+def _philly() -> SystemCalibration:
+    # Philly: ~80% 1-GPU jobs; median runtime ~12 min with an extreme tail
+    # (multi-week training); >50% of jobs wait >=10 min (Fig 4); 14 virtual
+    # clusters; ~43% average utilization incl. a long initial vacancy;
+    # highest failure rate (~40% non-passed, Fig 6); strong queue feedback
+    # (Fig 9: ~100% 1-GPU under long queues vs ~80% under short).
+    size = DiscreteDist.of(
+        (0.76, 1),
+        (0.08, 2),
+        (0.06, 4),
+        (0.050, 8),
+        (0.025, 16),
+        (0.015, 32),
+        (0.008, 64),
+        (0.002, 128),
+    )
+    runtime = SizeConditionalRuntime(
+        buckets=(
+            # 1-GPU: median ~12 min, mean ~31 ks (heavy training tail)
+            (
+                1,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.75, _ln(500.0, 1.3)),
+                        (0.18, _ln(20000.0, 1.0)),
+                        (0.07, _ln(250000.0, 0.8)),
+                    ),
+                    1.0,
+                    30.0 * 86400.0,
+                ),
+            ),
+            # 2-8 GPUs: mean ~46 ks
+            (
+                8,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.70, _ln(1200.0, 1.2)),
+                        (0.22, _ln(30000.0, 1.0)),
+                        (0.08, _ln(300000.0, 0.8)),
+                    ),
+                    1.0,
+                    30.0 * 86400.0,
+                ),
+            ),
+            # >8 GPUs: mean ~39 ks
+            (
+                float("inf"),
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.60, _ln(1800.0, 1.2)),
+                        (0.30, _ln(40000.0, 0.9)),
+                        (0.10, _ln(150000.0, 0.7)),
+                    ),
+                    1.0,
+                    30.0 * 86400.0,
+                ),
+            ),
+        )
+    )
+    return SystemCalibration(
+        system=PHILLY,
+        jobs_per_day=2200.0,    # tuned: util ~0.43 after feedback+vacancy+damping
+        n_users=300,
+        configs_per_user_mean=10.0,
+        config_zipf_s=1.3,      # Fig 8: DL <60% at 3 groups, ~90% at 10
+        config_stickiness=0.7,
+        size_dist=size,
+        size_rounding=1,
+        runtime_dist=runtime,
+        runtime_jitter_sigma=0.12,   # per-config; diversity comes from config priors
+        session_mean_jobs=8.0,       # hyper-parameter sweeps come in bursts
+        gap_dist=_ln(5.0, 1.0),
+        diurnal=dipped_profile(2.5),  # fewer jobs in peak hours, 2.5x range
+        wait=WaitModel(
+            base=_ln(800.0, 1.8),     # >50% wait >= 10 min
+            zero_wait_fraction=0.12,
+            size_mult=(1.0, 1.9, 1.4),
+            length_mult=(0.8, 1.0, 1.8),
+        ),
+        status=StatusModel(
+            pass_by_length=(0.68, 0.45, 0.22),
+            killed_share=(0.50, 0.72, 0.90),
+            size_penalty=(1.0, 0.82, 0.55),  # DL pass-rate falls with size
+        ),
+        queue_feedback=QueueFeedback(
+            minimal_size_prob=(0.0, 0.35, 0.85),
+            short_runtime_prob=(0.0, 0.25, 0.6),
+            short_runtime_dist=_ln(240.0, 1.0),
+        ),
+        walltime_factor=None,        # DL traces carry no walltime (§VI-B)
+        max_config_core_seconds=0.15 * 2490 * 86400.0,
+        cost_damping=0.5,
+        cost_ref=2490 * 600.0,
+        vacancy_fraction=0.18,
+        vacancy_keep=0.25,
+        notes={"virtual_clusters": 14},
+    )
+
+
+def _helios() -> SystemCalibration:
+    # Helios: median runtime ~90 s; minimal waits (80% <10s, Fig 4);
+    # pronounced peak-hours (10x max/min hourly submissions); bigger DL jobs
+    # than Philly (max 2048 GPUs); large jobs ~70% and small jobs ~5% of
+    # GPU-hours (Fig 2), long jobs dominating.  Job rate scaled from the
+    # real ~21.7k/day to 9.5k/day (recorded in notes) keeping the load and
+    # burstiness; all analyses are distributional, so shapes are preserved.
+    size = DiscreteDist.of(
+        (0.80, 1),
+        (0.08, 2),
+        (0.055, 4),
+        (0.0415, 8),
+        (0.012, 16),
+        (0.006, 32),
+        (0.003, 64),
+        (0.0015, 128),
+        (0.0008, 512),
+        (0.0002, 2048),
+    )
+    runtime = SizeConditionalRuntime(
+        buckets=(
+            # 1-GPU: median ~90 s, mean ~2.2 ks
+            (
+                1,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.62, _ln(40.0, 1.1)),
+                        (0.30, _ln(800.0, 1.3)),
+                        (0.08, _ln(12000.0, 1.0)),
+                    ),
+                    1.0,
+                    60.0 * 86400.0,
+                ),
+            ),
+            # 2-8 GPUs: mean ~12.8 ks
+            (
+                8,
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.55, _ln(500.0, 1.2)),
+                        (0.33, _ln(6000.0, 1.0)),
+                        (0.12, _ln(50000.0, 0.9)),
+                    ),
+                    1.0,
+                    60.0 * 86400.0,
+                ),
+            ),
+            # >8 GPUs: mean ~15.6 ks incl. the >1-day training tail
+            (
+                float("inf"),
+                ClippedDist(
+                    MixtureDist.of(
+                        (0.53, _ln(1200.0, 1.0)),
+                        (0.35, _ln(7200.0, 0.9)),
+                        (0.12, _ln(100000.0, 0.7)),
+                    ),
+                    1.0,
+                    60.0 * 86400.0,
+                ),
+            ),
+        )
+    )
+    return SystemCalibration(
+        system=HELIOS,
+        jobs_per_day=16500.0,   # tuned for util ~0.6 after feedback+damping losses
+        n_users=1200,
+        configs_per_user_mean=10.0,
+        config_zipf_s=1.3,
+        config_stickiness=0.7,
+        size_dist=size,
+        size_rounding=1,
+        runtime_dist=runtime,
+        runtime_jitter_sigma=0.12,
+        session_mean_jobs=10.0,
+        gap_dist=_ln(4.0, 1.0),
+        diurnal=peaked_profile(10.0),
+        wait=WaitModel(
+            base=_ln(3.0, 1.6),   # 80% of jobs wait <10 s
+            zero_wait_fraction=0.35,
+            size_mult=(1.0, 2.5, 1.6),
+            length_mult=(0.8, 1.0, 2.0),
+        ),
+        status=StatusModel(
+            pass_by_length=(0.70, 0.48, 0.25),
+            killed_share=(0.55, 0.75, 0.92),
+            size_penalty=(1.0, 0.85, 0.60),
+        ),
+        queue_feedback=QueueFeedback(
+            minimal_size_prob=(0.0, 0.3, 0.8),
+            short_runtime_prob=(0.0, 0.2, 0.45),
+            short_runtime_dist=_ln(60.0, 1.0),
+        ),
+        walltime_factor=None,
+        max_config_core_seconds=0.10 * 6416 * 86400.0,
+        cost_damping=0.5,
+        cost_ref=6416 * 600.0,
+        notes={"max_gpus": 2048, "rate_scaled_from": 21700},
+    )
+
+
+def _build_calibrations() -> dict[str, SystemCalibration]:
+    cals = [_mira(), _theta(), _blue_waters(), _philly(), _helios()]
+    return {c.system.name.lower().replace(" ", "_"): c for c in cals}
+
+
+CALIBRATIONS: dict[str, SystemCalibration] = _build_calibrations()
+
+
+def get_calibration(name: str) -> SystemCalibration:
+    """Look up the calibration for a target system by name."""
+    key = name.lower().replace(" ", "_").replace("-", "_")
+    if key in ("bw", "bluewaters"):
+        key = "blue_waters"
+    try:
+        return CALIBRATIONS[key]
+    except KeyError:
+        raise KeyError(
+            f"no calibration for {name!r}; available: {sorted(CALIBRATIONS)}"
+        ) from None

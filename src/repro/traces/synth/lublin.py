@@ -1,0 +1,196 @@
+"""The Lublin-Feitelson rigid-job workload model (paper reference [25]).
+
+Lublin & Feitelson, *"The workload on parallel supercomputers: modeling the
+characteristics of rigid jobs"*, JPDC 2003 — the classic parametric model
+the HPC community used for two decades, and the natural baseline against
+which the paper's "workloads have changed" argument is made.  We implement
+its three components with the published default parameters:
+
+* **job size** — a two-stage log-uniform model: jobs are serial with
+  probability ``p_serial``; parallel sizes are drawn log-uniformly with a
+  strong preference for powers of two (probability ``p_pow2``);
+* **runtime** — a hyper-gamma distribution (two gamma components whose
+  mixing probability depends linearly on the job size);
+* **arrivals** — a daily-cycle gamma model: jobs arrive with an
+  hour-of-day intensity following the published polynomial-ish weights,
+  with exponential gaps within the hour.
+
+Useful both as an independent check of the analysis pipeline (a classic
+HPC workload should score "HPC-like" on every takeaway axis) and as a
+baseline generator for scheduler studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...frame import Frame
+from ..schema import Trace
+from ..systems import ResourceKind, SystemKind, SystemSpec
+
+__all__ = ["LublinParameters", "generate_lublin_trace"]
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class LublinParameters:
+    """Model parameters (defaults: the paper's batch-job fit)."""
+
+    # --- size model -------------------------------------------------------
+    #: probability a job is serial (1 CPU)
+    p_serial: float = 0.24
+    #: probability a parallel size is rounded to a power of two
+    p_pow2: float = 0.75
+    #: log2-size distribution: uniform-ish between lo and hi with mean pull
+    size_log2_lo: float = 1.0
+    size_log2_hi: float = 12.0  # up to 4096 cores by default
+    size_log2_mean: float = 4.5
+
+    # --- runtime model (hyper-gamma, seconds) ------------------------------
+    #: first gamma component (short jobs): shape, scale
+    g1_shape: float = 4.2
+    g1_scale: float = 400.0
+    #: second gamma component (long jobs): shape, scale
+    g2_shape: float = 6.5
+    g2_scale: float = 2000.0
+    #: mixing: P(component 1) = a + b * log2(size), clipped to [pmin, pmax]
+    mix_a: float = 0.90
+    mix_b: float = -0.05
+    mix_min: float = 0.15
+    mix_max: float = 0.95
+
+    # --- arrival model ------------------------------------------------------
+    #: mean jobs per hour (scaled so the default 4096-core host sits ~85%
+    #: loaded, the regime batch schedulers are studied in)
+    jobs_per_hour: float = 10.0
+    #: relative arrival intensity per hour of day (Lublin's daily cycle:
+    #: quiet at night, ramp through the morning, peak in the afternoon)
+    hourly_weights: tuple = field(
+        default=(
+            0.0135, 0.0111, 0.0097, 0.0087, 0.0085, 0.0093,
+            0.0118, 0.0175, 0.0302, 0.0458, 0.0567, 0.0630,
+            0.0638, 0.0640, 0.0661, 0.0684, 0.0680, 0.0638,
+            0.0543, 0.0440, 0.0361, 0.0305, 0.0254, 0.0198,
+        )
+    )
+
+    #: number of synthetic users to attribute jobs to (the original model
+    #: is user-free; attribution enables the per-user analyses)
+    n_users: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_serial <= 1.0:
+            raise ValueError("p_serial must be a probability")
+        if len(self.hourly_weights) != 24:
+            raise ValueError("hourly_weights needs 24 entries")
+        if self.size_log2_lo >= self.size_log2_hi:
+            raise ValueError("size_log2 range is empty")
+
+
+def _sample_sizes(
+    rng: np.random.Generator, n: int, p: LublinParameters, max_cores: int
+) -> np.ndarray:
+    """Two-stage log-uniform size model with power-of-two preference."""
+    serial = rng.random(n) < p.p_serial
+    # triangular pull toward the published mean log2 size
+    mode = np.clip(p.size_log2_mean, p.size_log2_lo, p.size_log2_hi)
+    log2_size = rng.triangular(p.size_log2_lo, mode, p.size_log2_hi, size=n)
+    sizes = 2.0 ** log2_size
+    pow2 = rng.random(n) < p.p_pow2
+    sizes = np.where(pow2, 2.0 ** np.round(log2_size), np.round(sizes))
+    sizes = np.where(serial, 1.0, np.maximum(sizes, 2.0))
+    return np.clip(sizes, 1, max_cores).astype(np.int64)
+
+
+def _sample_runtimes(
+    rng: np.random.Generator, sizes: np.ndarray, p: LublinParameters
+) -> np.ndarray:
+    """Hyper-gamma runtimes with size-dependent mixing."""
+    n = len(sizes)
+    prob1 = np.clip(
+        p.mix_a + p.mix_b * np.log2(np.maximum(sizes, 1)), p.mix_min, p.mix_max
+    )
+    use1 = rng.random(n) < prob1
+    rt1 = rng.gamma(p.g1_shape, p.g1_scale, size=n)
+    rt2 = rng.gamma(p.g2_shape, p.g2_scale, size=n)
+    return np.maximum(np.where(use1, rt1, rt2), 1.0)
+
+
+def _sample_arrivals(
+    rng: np.random.Generator, days: float, p: LublinParameters
+) -> np.ndarray:
+    """Daily-cycle arrivals: per-hour Poisson counts, uniform within hour."""
+    weights = np.asarray(p.hourly_weights)
+    weights = weights / weights.sum()
+    n_hours = int(np.ceil(days * 24))
+    times: list[np.ndarray] = []
+    # expected jobs in an hour = jobs_per_hour * 24 * weight(hour-of-day)
+    for h in range(n_hours):
+        lam = p.jobs_per_hour * 24.0 * weights[h % 24] / 1.0
+        k = rng.poisson(lam)
+        if k:
+            times.append(h * SECONDS_PER_HOUR + rng.uniform(0, SECONDS_PER_HOUR, k))
+    if not times:
+        return np.array([])
+    t = np.sort(np.concatenate(times))
+    return t[t < days * SECONDS_PER_DAY]
+
+
+def generate_lublin_trace(
+    days: float = 30.0,
+    seed: int = 0,
+    parameters: LublinParameters | None = None,
+    system: SystemSpec | None = None,
+) -> Trace:
+    """Generate a Lublin-Feitelson workload as a :class:`Trace`.
+
+    The default host system is a generic 4096-core cluster; pass a
+    :class:`SystemSpec` to target a specific machine (sizes are clipped to
+    its capacity).
+    """
+    p = parameters or LublinParameters()
+    if system is None:
+        system = SystemSpec(
+            name="Lublin-4096",
+            affiliation="synthetic",
+            years="model (JPDC 2003)",
+            job_count=0,
+            nodes=4096,
+            cores=4096,
+            gpus=0,
+            kind=SystemKind.HPC,
+            resource=ResourceKind.CPU,
+        )
+    rng = np.random.default_rng(seed)
+    submit = _sample_arrivals(rng, days, p)
+    n = len(submit)
+    if n == 0:
+        raise ValueError("no arrivals generated; increase days or jobs_per_hour")
+    cores = _sample_sizes(rng, n, p, system.schedulable_units)
+    runtime = _sample_runtimes(rng, cores, p)
+    users = rng.integers(0, p.n_users, size=n)
+
+    jobs = Frame(
+        {
+            "job_id": np.arange(n, dtype=np.int64),
+            "user_id": users.astype(np.int64),
+            "submit_time": submit,
+            "runtime": runtime,
+            "cores": cores,
+            "req_walltime": np.ceil(runtime * 1.5 / 1800.0) * 1800.0,
+        }
+    )
+    return Trace(
+        system=system,
+        jobs=jobs,
+        meta={
+            "generator": "repro.traces.synth.lublin",
+            "days": days,
+            "seed": seed,
+            "model": "Lublin-Feitelson (JPDC 2003)",
+        },
+    )

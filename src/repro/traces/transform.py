@@ -1,0 +1,97 @@
+"""Trace transformation utilities.
+
+Windowing, thinning, user filtering, anonymization, and splitting — the
+preprocessing an operator applies before running a real accounting log
+through the analysis pipeline (the paper itself windows Mira/Theta/Blue
+Waters to four months, §II-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Frame
+from .schema import Trace
+
+__all__ = [
+    "window_trace",
+    "thin_trace",
+    "filter_users",
+    "top_users_trace",
+    "anonymize_trace",
+    "rebase_time",
+    "split_by_user",
+]
+
+
+def window_trace(trace: Trace, start: float, end: float, rebase: bool = True) -> Trace:
+    """Jobs submitted in ``[start, end)``; optionally shift t=0 to ``start``."""
+    if end <= start:
+        raise ValueError("empty window")
+    out = trace.window(start, end)
+    if rebase and out.num_jobs:
+        out = Trace(
+            out.system,
+            out.jobs.with_column("submit_time", out["submit_time"] - start),
+            {**out.meta, "window": (start, end)},
+        )
+    return out
+
+
+def thin_trace(
+    trace: Trace, keep_fraction: float, rng: np.random.Generator | None = None
+) -> Trace:
+    """Uniform random job subsample (keeps distributions, scales load)."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    if keep_fraction == 1.0:
+        return trace
+    rng = rng or np.random.default_rng(0)
+    keep = rng.random(trace.num_jobs) < keep_fraction
+    out = trace.filter(keep)
+    out.meta["thinned_to"] = keep_fraction
+    return out
+
+
+def filter_users(trace: Trace, users: np.ndarray | list) -> Trace:
+    """Jobs from the given users only."""
+    mask = np.isin(trace["user_id"], np.asarray(users))
+    return trace.filter(mask)
+
+
+def top_users_trace(trace: Trace, n_users: int) -> Trace:
+    """Jobs from the ``n_users`` heaviest submitters (the Fig 11 subset)."""
+    uniq, counts = np.unique(trace["user_id"], return_counts=True)
+    top = uniq[np.argsort(-counts)][:n_users]
+    return filter_users(trace, top)
+
+
+def anonymize_trace(trace: Trace, seed: int = 0) -> Trace:
+    """Re-map user ids to a random dense range (for sharing real logs)."""
+    rng = np.random.default_rng(seed)
+    uniq = np.unique(trace["user_id"])
+    new_ids = rng.permutation(len(uniq))
+    mapping = dict(zip(uniq.tolist(), new_ids.tolist()))
+    remapped = np.array([mapping[u] for u in trace["user_id"]], dtype=np.int64)
+    jobs = trace.jobs.with_column("user_id", remapped)
+    return Trace(trace.system, jobs, {**trace.meta, "anonymized": True})
+
+
+def rebase_time(trace: Trace) -> Trace:
+    """Shift submissions so the first job arrives at t=0."""
+    if trace.num_jobs == 0:
+        return trace
+    t0 = float(trace["submit_time"].min())
+    jobs = trace.jobs.with_column("submit_time", trace["submit_time"] - t0)
+    return Trace(trace.system, jobs, dict(trace.meta))
+
+
+def split_by_user(trace: Trace, min_jobs: int = 1) -> dict[int, Trace]:
+    """One sub-trace per user with at least ``min_jobs`` jobs."""
+    out: dict[int, Trace] = {}
+    users = trace["user_id"]
+    for u in np.unique(users):
+        mask = users == u
+        if int(mask.sum()) >= min_jobs:
+            out[int(u)] = trace.filter(mask)
+    return out

@@ -1,0 +1,102 @@
+"""Trace sanity validation.
+
+Mirrors the paper's "information consistency" screen from Table I — e.g.
+Supercloud was excluded because scheduled jobs requested more nodes than the
+system reported having.  :func:`validate_trace` runs the same class of checks
+on any trace and returns a structured report instead of silently proceeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import JobStatus, Trace
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_trace"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One failed consistency check."""
+
+    code: str
+    message: str
+    count: int = 0
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_trace`."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when no consistency check failed."""
+        return not self.issues
+
+    def codes(self) -> set[str]:
+        """Set of failed check codes."""
+        return {i.code for i in self.issues}
+
+    def __str__(self) -> str:
+        if self.consistent:
+            return "trace is consistent"
+        return "\n".join(f"[{i.code}] {i.message}" for i in self.issues)
+
+
+def validate_trace(trace: Trace) -> ValidationReport:
+    """Run all consistency checks on a trace."""
+    report = ValidationReport()
+    jobs = trace.jobs
+    n = jobs.num_rows
+    if n == 0:
+        report.issues.append(ValidationIssue("empty", "trace has no jobs"))
+        return report
+
+    def check(mask: np.ndarray, code: str, message: str) -> None:
+        bad = int(np.count_nonzero(mask))
+        if bad:
+            report.issues.append(
+                ValidationIssue(code, f"{message} ({bad} jobs)", bad)
+            )
+
+    cores = jobs["cores"]
+    capacity = trace.system.schedulable_units
+    check(cores <= 0, "nonpositive_cores", "jobs request <= 0 cores")
+    if capacity > 0:
+        # The Supercloud check: requests exceeding system capacity.
+        check(
+            cores > capacity,
+            "oversized_request",
+            f"jobs request more than the system's {capacity} units",
+        )
+    check(jobs["runtime"] < 0, "negative_runtime", "jobs have negative runtime")
+    check(jobs["wait_time"] < 0, "negative_wait", "jobs have negative wait time")
+    submit = jobs["submit_time"]
+    check(~np.isfinite(submit), "bad_submit", "non-finite submit times")
+
+    statuses = jobs["status"]
+    valid = np.isin(statuses, [int(s) for s in JobStatus])
+    check(~valid, "bad_status", "unknown status codes")
+
+    ids = jobs["job_id"]
+    if len(np.unique(ids)) != n:
+        report.issues.append(
+            ValidationIssue(
+                "duplicate_job_id",
+                "job ids are not unique",
+                n - len(np.unique(ids)),
+            )
+        )
+
+    req = jobs["req_walltime"]
+    with np.errstate(invalid="ignore"):
+        check(
+            np.isfinite(req) & (req <= 0),
+            "nonpositive_walltime",
+            "requested walltimes <= 0",
+        )
+    return report

@@ -1,0 +1,14 @@
+"""Text rendering of figures, tables, and schedules."""
+
+from .gantt import render_gantt, render_occupancy
+from .text import bar, percent, render_table, seconds, series_row
+
+__all__ = [
+    "render_table",
+    "bar",
+    "percent",
+    "seconds",
+    "series_row",
+    "render_gantt",
+    "render_occupancy",
+]

@@ -1,0 +1,73 @@
+"""Plain-text rendering primitives for experiment output.
+
+Every paper figure is rendered as aligned text tables / bar strips so the
+harness prints the same rows and series the paper plots, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "bar", "percent", "seconds", "series_row"]
+
+
+def percent(x: float, digits: int = 1) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    if x is None or (isinstance(x, float) and not np.isfinite(x)):
+        return "-"
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def seconds(x: float) -> str:
+    """Human-readable duration."""
+    if x is None or not np.isfinite(x):
+        return "-"
+    if x < 60:
+        return f"{x:.1f}s"
+    if x < 3600:
+        return f"{x / 60:.1f}m"
+    if x < 86400:
+        return f"{x / 3600:.1f}h"
+    return f"{x / 86400:.1f}d"
+
+
+def bar(fraction: float, width: int = 20, fill: str = "#") -> str:
+    """ASCII bar for a 0..1 fraction."""
+    if not np.isfinite(fraction):
+        return " " * width
+    frac = min(max(float(fraction), 0.0), 1.0)
+    n = int(round(frac * width))
+    return fill * n + "." * (width - n)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def series_row(name: str, values: np.ndarray, fmt: str = "{:.2f}") -> list:
+    """Build a table row from a named numeric series."""
+    return [name, *(fmt.format(v) if np.isfinite(v) else "-" for v in values)]

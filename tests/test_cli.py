@@ -1,0 +1,121 @@
+"""Tests for the top-level CLI and the markdown report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import build_report, write_report
+from repro.core.study import CrossSystemStudy
+from repro.traces.synth import generate_trace
+
+
+@pytest.fixture(scope="module")
+def swf_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("swf") / "theta.swf"
+    assert main(["generate", "theta", "-o", str(path), "--days", "2", "--seed", "1"]) == 0
+    return path
+
+
+class TestCli:
+    def test_generate_writes_swf(self, swf_path):
+        assert swf_path.exists()
+        assert swf_path.read_text().startswith("; Computer:")
+
+    def test_validate_clean(self, swf_path, capsys):
+        assert main(["validate", str(swf_path)]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_validate_broken(self, tmp_path, capsys):
+        bad = tmp_path / "bad.swf"
+        # 18-field line with negative runtime (field 4)
+        bad.write_text("1 0 0 -5 4 -1 -1 4 100 -1 1 1 -1 -1 -1 -1 -1 -1\n")
+        # runtime is clamped non-negative on parse; craft oversize instead
+        bad.write_text(
+            "; MaxProcs: 4\n"
+            "1 0 0 5 400000000 -1 -1 400000000 100 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+        )
+        assert main(["validate", str(bad)]) == 1
+        assert "oversized" in capsys.readouterr().out
+
+    def test_analyze_summary(self, swf_path, capsys):
+        assert main(["analyze", str(swf_path)]) == 0
+        out = capsys.readouterr().out
+        assert "median runtime" in out
+
+    def test_analyze_report(self, swf_path, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(["analyze", str(swf_path), "--report", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("# Analysis of")
+        assert "## Takeaways" in text
+
+    def test_simulate(self, swf_path, capsys):
+        assert main(
+            [
+                "simulate",
+                str(swf_path),
+                "--backfill",
+                "relaxed",
+                "--relax",
+                "0.2",
+                "--max-jobs",
+                "150",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "fcfs + relaxed" in out
+
+    def test_study_prints_takeaways(self, capsys):
+        assert main(["study", "--days", "1", "--seed", "3"]) == 0
+        assert "Takeaway 1" in capsys.readouterr().out
+
+    def test_study_report(self, tmp_path, capsys):
+        report = tmp_path / "study.md"
+        assert main(["study", "--days", "1", "--seed", "3", "--report", str(report)]) == 0
+        assert report.exists()
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return CrossSystemStudy.from_traces(
+            {
+                "theta": generate_trace("theta", days=2, seed=1),
+                "philly": generate_trace("philly", days=2, seed=1),
+            }
+        )
+
+    def test_sections_present(self, study):
+        text = build_report(study)
+        for section in (
+            "## Traces",
+            "## Job geometries",
+            "## Core-hour domination",
+            "## Utilization",
+            "## Waiting time",
+            "## Failures",
+            "## User behaviour",
+            "## Takeaways",
+        ):
+            assert section in text
+
+    def test_systems_listed(self, study):
+        text = build_report(study)
+        assert "theta" in text and "philly" in text
+
+    def test_custom_title(self, study):
+        assert build_report(study, title="My Study").startswith("# My Study")
+
+    def test_write_report(self, study, tmp_path):
+        path = write_report(study, tmp_path / "out.md")
+        assert Path(path).read_text().startswith("#")
+
+    def test_markdown_tables_well_formed(self, study):
+        for line in build_report(study).splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

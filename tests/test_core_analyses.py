@@ -1,0 +1,201 @@
+"""Tests for the characterization core: geometry, core-hours, utilization,
+waiting, failures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    allocation_summary,
+    analyze_geometry,
+    analyze_utilization,
+    arrival_summary,
+    core_hour_shares,
+    dominating_class,
+    runtime_summary,
+    status_by_class,
+    status_shares,
+    utilization_timeline,
+    wait_by_class,
+    wait_summary,
+)
+from repro.frame import Frame
+from repro.traces import BLUE_WATERS, MIRA, PHILLY, JobStatus, Trace
+
+
+def make_trace(system=PHILLY, **cols):
+    n = len(cols.get("runtime", [60.0, 7200.0, 90000.0, 30.0]))
+    base = {
+        "submit_time": np.arange(n) * 100.0,
+        "runtime": [60.0, 7200.0, 90000.0, 30.0],
+        "cores": [1, 4, 16, 1],
+        "wait_time": [10.0, 100.0, 1000.0, 0.0],
+        "status": [0, 0, 2, 1],
+    }
+    base.update(cols)
+    return Trace(system=system, jobs=Frame(base))
+
+
+class TestGeometry:
+    def test_runtime_summary_median(self):
+        s = runtime_summary(make_trace())
+        assert s.median == pytest.approx(np.median([60, 7200, 90000, 30]))
+        assert s.system == "Philly"
+
+    def test_runtime_cdf_monotone(self):
+        s = runtime_summary(make_trace())
+        assert np.all(np.diff(s.cdf_values) >= 0)
+        assert s.cdf_values[-1] == 1.0
+
+    def test_arrival_summary(self):
+        s = arrival_summary(make_trace())
+        assert s.median_interval == 100.0
+        assert s.hourly_counts.shape == (24,)
+
+    def test_arrival_peak_ratio_infinite_when_empty_hours(self):
+        s = arrival_summary(make_trace())
+        assert s.peak_ratio == float("inf")  # 4 jobs can't fill 24 hours
+
+    def test_allocation_fractions(self):
+        s = allocation_summary(make_trace())
+        assert s.single_unit_fraction == 0.5
+        assert s.over_1000_fraction == 0.0
+        assert s.median_cores == 2.5
+
+    def test_analyze_geometry_bundles(self):
+        g = analyze_geometry(make_trace())
+        assert g.runtime.system == g.arrival.system == g.allocation.system
+
+
+class TestCoreHours:
+    def test_shares_sum_to_one(self):
+        s = core_hour_shares(make_trace())
+        assert s.by_size.sum() == pytest.approx(1.0)
+        assert s.by_length.sum() == pytest.approx(1.0)
+        assert s.count_by_size.sum() == pytest.approx(1.0)
+
+    def test_dominant_class(self):
+        # the 16-GPU 25h job dominates: large size, long runtime
+        s = core_hour_shares(make_trace())
+        assert s.dominant_size() == "large"
+        assert s.dominant_length() == "long"
+
+    def test_dominating_class_threshold(self):
+        s = core_hour_shares(make_trace())
+        dom = dominating_class(s, threshold=0.5)
+        assert "size:large" in dom and "length:long" in dom
+
+    def test_total_core_hours(self):
+        s = core_hour_shares(make_trace())
+        expected = (60 * 1 + 7200 * 4 + 90000 * 16 + 30 * 1) / 3600
+        assert s.total_core_hours == pytest.approx(expected)
+
+
+class TestUtilization:
+    def test_full_occupation(self):
+        # one job holding all units from t=0..1000, probed over that window
+        tr = Trace(
+            system=PHILLY,
+            jobs=Frame(
+                {
+                    "submit_time": [0.0, 1000.0],
+                    "runtime": [1000.0, 0.0],
+                    "cores": [PHILLY.schedulable_units, 1],
+                    "wait_time": [0.0, 0.0],
+                }
+            ),
+        )
+        series = utilization_timeline(tr, n_buckets=4)
+        assert series.values[0] == pytest.approx(1.0)
+        assert series.average > 0.9
+
+    def test_half_occupation(self):
+        tr = Trace(
+            system=PHILLY,
+            jobs=Frame(
+                {
+                    "submit_time": [0.0, 0.0],
+                    "runtime": [1000.0, 1000.0],
+                    "cores": [PHILLY.schedulable_units // 2, 1],
+                    "wait_time": [0.0, 0.0],
+                }
+            ),
+        )
+        series = utilization_timeline(tr, n_buckets=2)
+        assert series.average == pytest.approx(0.5, abs=0.01)
+
+    def test_values_bounded(self):
+        series = utilization_timeline(make_trace(), n_buckets=10)
+        assert np.all((series.values >= 0) & (series.values <= 1))
+
+    def test_blue_waters_two_pools(self):
+        tr = make_trace(system=BLUE_WATERS, pool=[0, 0, 1, 1])
+        series = analyze_utilization(tr)
+        assert [s.pool for s in series] == ["cpu", "gpu"]
+        assert series[1].capacity == BLUE_WATERS.gpus * 16
+
+    def test_single_pool_systems(self):
+        assert [s.pool for s in analyze_utilization(make_trace())] == ["gpu"]
+        assert [s.pool for s in analyze_utilization(make_trace(system=MIRA))] == ["cpu"]
+
+
+class TestWaiting:
+    def test_wait_summary_values(self):
+        s = wait_summary(make_trace())
+        assert s.median_wait == pytest.approx(np.median([10, 100, 1000, 0]))
+        assert s.mean_wait == pytest.approx(np.mean([10, 100, 1000, 0]))
+
+    def test_turnaround_cdf_below_wait_cdf(self):
+        # turnaround >= wait pointwise, so its CDF is <= the wait CDF
+        s = wait_summary(make_trace())
+        assert np.all(s.turnaround_cdf <= s.wait_cdf + 1e-12)
+
+    def test_fraction_waiting_less_than(self):
+        s = wait_summary(make_trace())
+        assert 0.0 <= s.fraction_waiting_less_than(60) <= 1.0
+
+    def test_wait_by_class(self):
+        s = wait_by_class(make_trace())
+        # small jobs: waits 10, 0 -> mean 5; middle (4 GPUs): 100; large: 1000
+        assert s.by_size[0] == pytest.approx(5.0)
+        assert s.by_size[1] == pytest.approx(100.0)
+        assert s.by_size[2] == pytest.approx(1000.0)
+        assert s.longest_waiting_size() == 2
+
+    def test_wait_by_class_empty_class_nan(self):
+        tr = make_trace(cores=[1, 1, 1, 1])
+        s = wait_by_class(tr)
+        assert np.isnan(s.by_size[1]) and np.isnan(s.by_size[2])
+
+
+class TestFailures:
+    def test_status_shares(self):
+        s = status_shares(make_trace())
+        assert s.count_shares.sum() == pytest.approx(1.0)
+        assert s.passed_count_share == 0.5
+        assert s.n_jobs == 4
+
+    def test_killed_amplification(self):
+        s = status_shares(make_trace())
+        # the killed job is the 16-GPU 25h monster -> amplification >> 1
+        assert s.killed_amplification() > 2.0
+
+    def test_wasted_share(self):
+        s = status_shares(make_trace())
+        assert 0.0 < s.wasted_core_hour_share < 1.0
+
+    def test_status_by_class_rows_sum_to_one(self):
+        s = status_by_class(make_trace())
+        for k in range(3):
+            if not np.isnan(s.by_length[k]).any():
+                assert s.by_length[k].sum() == pytest.approx(1.0)
+
+    def test_pass_rates(self):
+        s = status_by_class(make_trace())
+        # long class contains only the killed job
+        assert s.pass_rate_by_length()[2] == 0.0
+
+    def test_empty_class_is_nan(self):
+        tr = make_trace(runtime=[10.0, 20.0, 30.0, 40.0])
+        s = status_by_class(tr)
+        assert np.isnan(s.by_length[1]).all()
+        assert np.isnan(s.by_length[2]).all()

@@ -1,0 +1,151 @@
+"""Tests for the extension experiments (beyond-paper artifacts)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+DAYS = 5.0
+SEED = 0
+
+
+class TestPredictiveExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_predictive", days=DAYS, seed=SEED, max_jobs=1200, model="lr"
+        )
+
+    def test_three_sources(self, result):
+        assert set(result.data) == {"user", "predicted", "oracle"}
+
+    def test_oracle_and_user_never_kill(self, result):
+        assert result.data["oracle"]["killed"] == 0.0
+        assert result.data["user"]["killed"] == 0.0
+
+    def test_render(self, result):
+        assert "walltime source" in result.render()
+
+
+class TestIsolationExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_isolation", days=DAYS, seed=SEED, max_jobs=2500)
+
+    def test_isolation_never_beats_pooled(self, result):
+        assert result.data["wait_partitioned"] >= result.data["wait_pooled"] - 1e-9
+
+    def test_render_mentions_vcs(self, result):
+        assert "VC" in result.render()
+
+
+class TestHybridExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_hybrid",
+            days=DAYS,
+            seed=SEED,
+            fractions=(0.0, 0.5),
+            max_jobs=1500,
+        )
+
+    def test_all_fractions_present(self, result):
+        assert set(result.data) == {"0.0", "0.5"}
+
+    def test_metrics_sane(self, result):
+        for cells in result.data.values():
+            assert 0.0 < cells["util"] <= 1.0
+            assert cells["wait"] >= 0.0
+
+
+class TestTradeoffExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_tradeoff",
+            days=DAYS,
+            seed=SEED,
+            quantiles=(0.5, 0.9),
+            max_jobs=2500,
+        )
+
+    def test_higher_quantile_fewer_underestimates(self, result):
+        for arm in ("baseline", "elapsed"):
+            assert (
+                result.data["0.9"][arm]["under"]
+                <= result.data["0.5"][arm]["under"] + 1e-9
+            )
+
+    def test_elapsed_dominates_at_median(self, result):
+        assert (
+            result.data["0.5"]["elapsed"]["under"]
+            <= result.data["0.5"]["baseline"]["under"] + 0.05
+        )
+
+
+class TestRobustness:
+    def test_structure(self):
+        result = run_experiment("robustness", days=2.0, seed=0, n_seeds=2)
+        assert set(result.data) >= {f"T{k}" for k in range(1, 9)}
+        rates = [result.data[f"T{k}"] for k in range(1, 9)]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+        assert np.asarray(result.data["per_seed"]).shape == (2, 8)
+
+
+class TestSaving:
+    def test_save_roundtrip(self, tmp_path):
+        result = run_experiment("table1")
+        txt, js = result.save(tmp_path)
+        assert txt.exists() and js.exists()
+        import json
+
+        payload = json.loads(js.read_text())
+        assert payload["exp_id"] == "table1"
+        assert "selected" in payload["data"]
+
+    def test_json_handles_numpy_and_nan(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(exp_id="x", title="t")
+        result.data = {
+            "arr": np.array([1.0, 2.0]),
+            "i": np.int64(3),
+            "f": np.float64(4.5),
+            "nan": float("nan"),
+        }
+        import json
+
+        payload = json.loads(result.to_json())
+        assert payload["data"]["arr"] == [1.0, 2.0]
+        assert payload["data"]["i"] == 3
+        assert payload["data"]["nan"] is None
+
+
+class TestPoliciesExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_policies",
+            days=DAYS,
+            seed=SEED,
+            policies=("fcfs", "sjf"),
+            max_jobs=800,
+        )
+
+    def test_grid_complete(self, result):
+        assert set(result.data) == {"blue_waters", "mira", "theta"}
+        for cells in result.data.values():
+            assert set(cells) == {"fcfs", "sjf"}
+
+    def test_sjf_beats_fcfs_on_bsld(self, result):
+        wins = sum(
+            cells["sjf"]["bsld"] <= cells["fcfs"]["bsld"] + 0.2
+            for cells in result.data.values()
+        )
+        assert wins >= 2  # SJF wins on slowdown almost always
+
+    def test_backfill_rate_recorded(self, result):
+        for cells in result.data.values():
+            for policy_cells in cells.values():
+                assert 0.0 <= policy_cells["backfill_rate"] <= 1.0

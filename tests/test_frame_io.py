@@ -1,0 +1,58 @@
+"""CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame, from_csv_string, read_csv, to_csv_string, write_csv
+
+
+@pytest.fixture
+def f():
+    return Frame(
+        {
+            "i": np.array([1, -2, 3], dtype=np.int64),
+            "x": np.array([1.5, 2.25, -0.125]),
+            "s": np.array(["alpha", "beta, with comma", "gamma"]),
+            "b": np.array([True, False, True]),
+        }
+    )
+
+
+def test_roundtrip_string(f):
+    g = from_csv_string(to_csv_string(f))
+    assert g == f
+
+
+def test_roundtrip_file(tmp_path, f):
+    path = tmp_path / "t.csv"
+    write_csv(f, path)
+    assert read_csv(path) == f
+
+
+def test_dtype_inference(f):
+    g = from_csv_string(to_csv_string(f))
+    assert np.issubdtype(g["i"].dtype, np.integer)
+    assert np.issubdtype(g["x"].dtype, np.floating)
+    assert g["b"].dtype == bool
+    assert g["s"].dtype.kind == "U"
+
+
+def test_header_only():
+    g = from_csv_string("a,b\n")
+    assert g.column_names == ["a", "b"]
+    assert g.num_rows == 0
+
+
+def test_empty_string():
+    assert from_csv_string("").num_rows == 0
+
+
+def test_float_precision_roundtrip():
+    f = Frame({"x": [0.1 + 0.2, 1e-300, 1e300]})
+    g = from_csv_string(to_csv_string(f))
+    assert np.array_equal(g["x"], f["x"])
+
+
+def test_comma_in_string_quoted(f):
+    text = to_csv_string(f)
+    assert '"beta, with comma"' in text

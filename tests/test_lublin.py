@@ -1,0 +1,110 @@
+"""Tests for the Lublin-Feitelson workload model."""
+
+import numpy as np
+import pytest
+
+from repro.traces import validate_trace
+from repro.traces.synth import LublinParameters, generate_lublin_trace
+from repro.traces.synth.lublin import (
+    _sample_arrivals,
+    _sample_runtimes,
+    _sample_sizes,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_lublin_trace(days=10, seed=1)
+
+
+def test_trace_validates(trace):
+    assert validate_trace(trace).consistent
+
+
+def test_deterministic(trace):
+    again = generate_lublin_trace(days=10, seed=1)
+    assert again.jobs == trace.jobs
+
+
+def test_serial_fraction_matches_parameter(trace):
+    p = LublinParameters()
+    serial = float((trace["cores"] == 1).mean())
+    assert serial == pytest.approx(p.p_serial, abs=0.05)
+
+
+def test_power_of_two_preference(trace):
+    cores = trace["cores"]
+    parallel = cores[cores > 1]
+    is_pow2 = (parallel & (parallel - 1)) == 0
+    assert is_pow2.mean() > 0.6  # p_pow2 = 0.75 of parallel jobs
+
+
+def test_sizes_within_capacity(trace):
+    assert trace["cores"].max() <= trace.system.schedulable_units
+
+
+def test_runtime_positive_and_heavy_tailed(trace):
+    rt = trace["runtime"]
+    assert rt.min() >= 1.0
+    assert rt.mean() > np.median(rt)  # right-skew
+
+
+def test_larger_jobs_run_longer_on_average():
+    # the hyper-gamma mixing makes big jobs favour the long component
+    p = LublinParameters()
+    rng = RNG(3)
+    small = _sample_runtimes(rng, np.full(20000, 2), p)
+    large = _sample_runtimes(rng, np.full(20000, 2048), p)
+    assert large.mean() > small.mean()
+
+
+def test_daily_cycle_shape():
+    p = LublinParameters(jobs_per_hour=50.0)
+    t = _sample_arrivals(RNG(2), days=20, p=p)
+    hours = ((t % 86400) // 3600).astype(int)
+    counts = np.bincount(hours, minlength=24)
+    # afternoon peak vs pre-dawn trough, as published
+    assert counts[14] > 3 * counts[4]
+
+
+def test_walltime_covers_runtime(trace):
+    assert np.all(trace["req_walltime"] >= trace["runtime"])
+
+
+def test_custom_system_clips_sizes():
+    from repro.traces import THETA
+
+    tr = generate_lublin_trace(days=2, seed=0, system=THETA)
+    assert tr.system is THETA
+    assert tr["cores"].max() <= THETA.schedulable_units
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        LublinParameters(p_serial=1.5)
+    with pytest.raises(ValueError):
+        LublinParameters(hourly_weights=(1.0,) * 23)
+    with pytest.raises(ValueError):
+        LublinParameters(size_log2_lo=5.0, size_log2_hi=2.0)
+
+
+def test_no_arrivals_raises():
+    with pytest.raises(ValueError):
+        generate_lublin_trace(
+            days=0.001,
+            seed=0,
+            parameters=LublinParameters(jobs_per_hour=0.0001),
+        )
+
+
+def test_pipeline_compatibility(trace):
+    """A Lublin trace flows through the paper analyses unchanged."""
+    from repro.core import core_hour_shares, repetition_summary, runtime_summary
+
+    assert runtime_summary(trace).median > 0
+    shares = core_hour_shares(trace)
+    assert shares.by_size.sum() == pytest.approx(1.0)
+    rep = repetition_summary(trace, min_jobs=10)
+    assert 0 < rep.top(10) <= 1.0

@@ -1,0 +1,74 @@
+"""Tests for hybrid-workload mixing."""
+
+import numpy as np
+import pytest
+
+from repro.traces import CANONICAL_COLUMNS, validate_trace
+from repro.traces.mixing import mix_traces
+from repro.traces.synth import generate_trace
+
+
+@pytest.fixture(scope="module")
+def base():
+    return generate_trace("theta", days=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def extra():
+    return generate_trace("helios", days=0.5, seed=1)
+
+
+def test_zero_fraction_is_base(base, extra):
+    mixed = mix_traces(base, extra, 0.0)
+    assert mixed.num_jobs == base.num_jobs
+    assert mixed.system is base.system
+
+
+def test_target_fraction_hit(base, extra):
+    mixed = mix_traces(base, extra, 0.5)
+    foreign = mixed["user_id"] > base["user_id"].max()
+    assert np.mean(foreign) == pytest.approx(0.5, abs=0.05)
+
+
+def test_core_scaling_and_clipping(base, extra):
+    mixed = mix_traces(base, extra, 0.3, core_scale=64.0)
+    assert mixed["cores"].max() <= base.system.schedulable_units
+    assert mixed["cores"].min() >= 1
+
+
+def test_submit_times_within_base_window(base, extra):
+    mixed = mix_traces(base, extra, 0.3)
+    assert mixed["submit_time"].min() >= base["submit_time"].min() - 1e-6
+    assert mixed["submit_time"].max() <= base["submit_time"].max() + 1e-6
+    assert np.all(np.diff(mixed["submit_time"]) >= 0)
+
+
+def test_mixed_trace_validates(base, extra):
+    mixed = mix_traces(base, extra, 0.4, core_scale=64.0)
+    assert validate_trace(mixed).consistent
+
+
+def test_canonical_columns_only(base, extra):
+    mixed = mix_traces(base, extra, 0.2)
+    assert set(mixed.jobs.column_names) == set(CANONICAL_COLUMNS)
+
+
+def test_user_ids_disjoint(base, extra):
+    mixed = mix_traces(base, extra, 0.4)
+    foreign_users = np.unique(
+        mixed["user_id"][mixed["user_id"] > base["user_id"].max()]
+    )
+    assert len(foreign_users) > 0
+
+
+def test_meta_records_mixing(base, extra):
+    mixed = mix_traces(base, extra, 0.25, core_scale=16.0)
+    assert mixed.meta["mixed_from"] == "Helios"
+    assert mixed.meta["extra_job_fraction"] == 0.25
+
+
+def test_invalid_fraction(base, extra):
+    with pytest.raises(ValueError):
+        mix_traces(base, extra, 1.0)
+    with pytest.raises(ValueError):
+        mix_traces(base, extra, -0.1)

@@ -1,0 +1,297 @@
+"""ML substrate tests: models recover known structure; metrics behave."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    LinearRegression,
+    MLPRegressor,
+    Ridge,
+    StandardScaler,
+    TobitRegressor,
+    mae,
+    mse,
+    prediction_accuracy,
+    r2_score,
+    train_test_split,
+    underestimation_rate,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def linear_data(n=400, d=3, noise=0.1, seed=0):
+    rng = RNG(seed)
+    X = rng.normal(size=(n, d))
+    w = np.array([2.0, -1.0, 0.5])[:d]
+    y = X @ w + 3.0 + noise * rng.normal(size=n)
+    return X, y, w
+
+
+class TestLinear:
+    def test_recovers_coefficients(self):
+        X, y, w = linear_data(noise=0.0)
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.coef_, w, atol=1e-8)
+        assert m.intercept_ == pytest.approx(3.0)
+
+    def test_no_intercept(self):
+        X, y, _ = linear_data(noise=0.0)
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        assert m.intercept_ == 0.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_1d_X_promoted(self):
+        m = LinearRegression().fit(np.arange(10.0), 2 * np.arange(10.0))
+        assert m.predict(np.array([100.0]))[0] == pytest.approx(200.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.array([[np.nan]]), np.array([1.0]))
+
+
+class TestRidge:
+    def test_alpha_zero_matches_ols(self):
+        X, y, _ = linear_data()
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone(self):
+        X, y, _ = linear_data()
+        norms = [
+            np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_)
+            for a in (0.0, 10.0, 1000.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+
+
+class TestTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 200)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        m = DecisionTreeRegressor(max_depth=2, min_samples_leaf=2).fit(X, y)
+        pred = m.predict(np.array([[0.2], [0.8]]))
+        assert pred[0] == pytest.approx(0.0, abs=0.05)
+        assert pred[1] == pytest.approx(1.0, abs=0.05)
+
+    def test_depth_limit(self):
+        X, y, _ = linear_data(n=500)
+        m = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert m.depth <= 3
+
+    def test_min_samples_leaf(self):
+        X, y, _ = linear_data(n=40)
+        m = DecisionTreeRegressor(max_depth=10, min_samples_leaf=20).fit(X, y)
+        assert m.n_leaves <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0)[:, None]
+        m = DecisionTreeRegressor().fit(X, np.full(20, 7.0))
+        assert m.n_leaves == 1
+        assert np.all(m.predict(X) == 7.0)
+
+    def test_beats_linear_on_nonlinear(self):
+        rng = RNG(2)
+        X = rng.uniform(-2, 2, size=(600, 1))
+        y = np.sin(3 * X[:, 0]) + 0.05 * rng.normal(size=600)
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        lin = LinearRegression().fit(X, y)
+        assert mse(y, tree.predict(X)) < mse(y, lin.predict(X)) / 2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+
+class TestBoosting:
+    def test_improves_with_stages(self):
+        rng = RNG(3)
+        X = rng.uniform(-2, 2, size=(500, 2))
+        y = X[:, 0] ** 2 + np.sin(2 * X[:, 1])
+        weak = GradientBoostingRegressor(n_estimators=3).fit(X, y)
+        strong = GradientBoostingRegressor(n_estimators=80).fit(X, y)
+        assert mse(y, strong.predict(X)) < mse(y, weak.predict(X)) / 3
+
+    def test_early_stopping_reduces_stages(self):
+        X, y, _ = linear_data(n=300, noise=2.0)
+        m = GradientBoostingRegressor(
+            n_estimators=300,
+            early_stopping_fraction=0.25,
+            early_stopping_rounds=5,
+        ).fit(X, y)
+        assert m.n_stages < 300
+
+    def test_subsample_still_learns(self):
+        X, y, _ = linear_data(n=500)
+        m = GradientBoostingRegressor(n_estimators=60, subsample=0.5).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.8
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+
+class TestMLP:
+    def test_learns_linear_function(self):
+        X, y, _ = linear_data(n=600, noise=0.05)
+        m = MLPRegressor(hidden=(32,), epochs=80, random_state=1).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.95
+
+    def test_learns_nonlinear_function(self):
+        rng = RNG(4)
+        X = rng.uniform(-1, 1, size=(800, 1))
+        y = np.sin(4 * X[:, 0])
+        m = MLPRegressor(hidden=(64, 32), epochs=150, random_state=1).fit(X, y)
+        assert r2_score(y, m.predict(X)) > 0.8
+
+    def test_deterministic_given_seed(self):
+        X, y, _ = linear_data(n=200)
+        a = MLPRegressor(epochs=5, random_state=9).fit(X, y).predict(X)
+        b = MLPRegressor(epochs=5, random_state=9).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_needs_hidden_layer(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden=())
+
+
+class TestTobit:
+    def test_uncensored_matches_ols(self):
+        X, y, w = linear_data(noise=0.2)
+        tob = TobitRegressor().fit(X, y)
+        assert np.allclose(tob.coef_, w, atol=0.1)
+
+    def test_censoring_corrects_bias(self):
+        # right-censor at the mean: naive OLS is biased low, Tobit is not
+        rng = RNG(5)
+        X = rng.normal(size=(800, 1))
+        y_true = 2.0 * X[:, 0] + 5.0 + 0.5 * rng.normal(size=800)
+        cap = 5.0
+        censored = y_true > cap
+        y_obs = np.minimum(y_true, cap)
+        ols = LinearRegression().fit(X, y_obs)
+        tob = TobitRegressor().fit(X, y_obs, censored=censored)
+        assert abs(tob.coef_[0] - 2.0) < abs(ols.coef_[0] - 2.0)
+        assert tob.coef_[0] == pytest.approx(2.0, abs=0.2)
+
+    def test_quantile_prediction_above_mean(self):
+        X, y, _ = linear_data(noise=0.3)
+        tob = TobitRegressor().fit(X, y)
+        assert np.all(tob.predict_quantile(X, 0.9) > tob.predict(X))
+
+    def test_quantile_validation(self):
+        X, y, _ = linear_data(n=50)
+        tob = TobitRegressor().fit(X, y)
+        with pytest.raises(ValueError):
+            tob.predict_quantile(X, 1.5)
+
+    def test_censored_mask_length_checked(self):
+        X, y, _ = linear_data(n=50)
+        with pytest.raises(ValueError):
+            TobitRegressor().fit(X, y, censored=np.zeros(3, dtype=bool))
+
+
+class TestPreprocess:
+    def test_scaler_zero_mean_unit_var(self):
+        X = RNG().normal(5.0, 3.0, size=(500, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_scaler_roundtrip(self):
+        X = RNG().normal(size=(100, 3))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_scaler_constant_column(self):
+        X = np.ones((10, 1))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(Z == 0.0)
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_split_sizes(self):
+        a = np.arange(100)
+        tr, te = train_test_split(a, test_fraction=0.2, rng=RNG())
+        assert len(tr) == 80 and len(te) == 20
+        assert sorted(np.concatenate([tr, te])) == list(range(100))
+
+    def test_split_chronological(self):
+        a = np.arange(10)
+        tr, te = train_test_split(a, test_fraction=0.3, shuffle=False)
+        assert list(tr) == list(range(7))
+        assert list(te) == [7, 8, 9]
+
+    def test_split_multiple_arrays_aligned(self):
+        a = np.arange(50)
+        b = a * 2
+        a_tr, a_te, b_tr, b_te = train_test_split(a, b, rng=RNG())
+        assert np.all(b_tr == 2 * a_tr) and np.all(b_te == 2 * a_te)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), np.arange(6))
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(5), test_fraction=1.5)
+
+
+class TestMetrics:
+    def test_mse_mae(self):
+        y = np.array([1.0, 2.0])
+        p = np.array([2.0, 0.0])
+        assert mse(y, p) == pytest.approx(2.5)
+        assert mae(y, p) == pytest.approx(1.5)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, 2.0)) == 0.0
+
+    def test_prediction_accuracy_symmetric(self):
+        y = np.array([100.0])
+        assert prediction_accuracy(y, np.array([50.0]))[0] == 0.5
+        assert prediction_accuracy(y, np.array([200.0]))[0] == 0.5
+
+    def test_prediction_accuracy_perfect(self):
+        y = np.array([42.0])
+        assert prediction_accuracy(y, y)[0] == 1.0
+
+    def test_prediction_accuracy_nonpositive_pred(self):
+        assert prediction_accuracy(np.array([10.0]), np.array([-5.0]))[0] == 0.0
+
+    def test_underestimation_rate(self):
+        y = np.array([10.0, 10.0, 10.0, 10.0])
+        p = np.array([5.0, 15.0, 10.0, 9.0])
+        assert underestimation_rate(y, p) == 0.5
+
+    @given(
+        st.lists(st.floats(1.0, 1e6), min_size=1, max_size=50),
+        st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=30)
+    def test_accuracy_bounded(self, values, factor):
+        y = np.array(values)
+        acc = prediction_accuracy(y, y * factor)
+        assert np.all((acc >= 0) & (acc <= 1.0 + 1e-12))

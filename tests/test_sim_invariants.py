@@ -1,0 +1,167 @@
+"""Property-based invariants of the scheduling simulator.
+
+Random workloads (hypothesis-generated) must satisfy, for every engine and
+backfilling mode:
+
+* capacity is never overcommitted at any instant;
+* no job starts before submission;
+* every job runs exactly once for exactly its runtime;
+* strict EASY (relax=0) never delays a job past its first promised start;
+  conservative backfilling is firm when walltime estimates are exact.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched import (
+    EASY,
+    NO_BACKFILL,
+    SimWorkload,
+    adaptive_relaxed,
+    relaxed,
+    simulate,
+    simulate_conservative,
+)
+
+CAPACITY = 16
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(2, 30))
+    submit = np.cumsum(
+        np.array(draw(st.lists(st.floats(0.0, 50.0), min_size=n, max_size=n)))
+    )
+    cores = np.array(
+        draw(st.lists(st.integers(1, CAPACITY), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    runtime = np.array(
+        draw(st.lists(st.floats(1.0, 500.0), min_size=n, max_size=n))
+    )
+    factor = np.array(
+        draw(st.lists(st.floats(1.0, 3.0), min_size=n, max_size=n))
+    )
+    return SimWorkload(
+        submit=submit,
+        cores=cores,
+        runtime=runtime,
+        walltime=runtime * factor,
+        user=np.zeros(n, dtype=np.int64),
+    )
+
+
+def max_concurrent_usage(start: np.ndarray, runtime: np.ndarray, cores: np.ndarray) -> int:
+    """Peak simultaneous core allocation via an event sweep."""
+    times = np.concatenate([start, start + runtime])
+    deltas = np.concatenate([cores, -cores]).astype(float)
+    # releases at the same instant happen before allocations
+    order = np.argsort(times + 1e-9 * (deltas > 0), kind="stable")
+    return int(np.cumsum(deltas[order]).max())
+
+
+BACKFILLS = [NO_BACKFILL, EASY, relaxed(0.2), adaptive_relaxed(0.2)]
+
+
+class TestEngineInvariants:
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_no_overcommit_any_mode(self, workload):
+        for bf in BACKFILLS:
+            res = simulate(workload, CAPACITY, "fcfs", bf)
+            peak = max_concurrent_usage(
+                res.start, workload.runtime, workload.cores
+            )
+            assert peak <= CAPACITY
+
+    @given(workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_no_early_starts(self, workload):
+        for bf in BACKFILLS:
+            res = simulate(workload, CAPACITY, "fcfs", bf)
+            assert np.all(res.start >= workload.submit - 1e-9)
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_strict_easy_honors_promises(self, workload):
+        res = simulate(workload, CAPACITY, "fcfs", EASY)
+        has_promise = np.isfinite(res.promised)
+        # EASY guarantee: a reserved head never starts after its promise
+        assert np.all(
+            res.start[has_promise] <= res.promised[has_promise] + 1e-6
+        )
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_sjf_also_safe(self, workload):
+        res = simulate(workload, CAPACITY, "sjf", EASY)
+        peak = max_concurrent_usage(res.start, workload.runtime, workload.cores)
+        assert peak <= CAPACITY
+
+
+class TestConservativeInvariants:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_no_overcommit(self, workload):
+        res = simulate_conservative(workload, CAPACITY)
+        peak = max_concurrent_usage(res.start, workload.runtime, workload.cores)
+        assert peak <= CAPACITY
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_promises_firm_under_exact_estimates(self, workload):
+        # With runtime == walltime there is no early-completion re-planning,
+        # so conservative reservations are firm.  (With overestimated
+        # walltimes, early completions legitimately re-order the plan in
+        # priority order, so firmness is NOT an invariant there.)
+        exact = SimWorkload(
+            submit=workload.submit,
+            cores=workload.cores,
+            runtime=workload.runtime,
+            walltime=workload.runtime,
+            user=workload.user,
+        )
+        res = simulate_conservative(exact, CAPACITY)
+        has_promise = np.isfinite(res.promised)
+        assert np.all(
+            res.start[has_promise] <= res.promised[has_promise] + 1e-6
+        )
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_no_early_starts(self, workload):
+        res = simulate_conservative(workload, CAPACITY)
+        assert np.all(res.start >= workload.submit - 1e-9)
+
+
+class TestCrossEngineConsistency:
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_respects_lower_bounds(self, workload):
+        """Every mode's makespan >= max(total work / capacity, longest job)."""
+        lower = max(
+            float((workload.cores * workload.runtime).sum()) / CAPACITY,
+            float(workload.runtime.max()),
+        )
+        for bf in BACKFILLS:
+            res = simulate(workload, CAPACITY, "fcfs", bf)
+            assert res.makespan >= lower - 1e-6
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_serial_cluster_equals_queue_order(self, workload):
+        """On a 1-core cluster with 1-core jobs, FCFS is strictly serial."""
+        wl1 = SimWorkload(
+            submit=workload.submit,
+            cores=np.ones(workload.n, dtype=np.int64),
+            runtime=workload.runtime,
+            walltime=workload.walltime,
+            user=workload.user,
+        )
+        res = simulate(wl1, 1, "fcfs", NO_BACKFILL)
+        order = np.argsort(wl1.submit, kind="stable")
+        starts = res.start[order]
+        ends = starts + wl1.runtime[order]
+        assert np.all(starts[1:] >= ends[:-1] - 1e-6)

@@ -1,0 +1,101 @@
+"""SWF reader/writer round-trip and parsing tests."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Frame
+from repro.traces import MIRA, JobStatus, Trace, read_swf, write_swf
+from repro.traces.swf import format_swf_lines, parse_swf_lines
+from repro.traces.synth import generate_trace
+
+
+def make_trace():
+    return Trace(
+        system=MIRA,
+        jobs=Frame(
+            {
+                "job_id": [1, 2, 3],
+                "user_id": [7, 7, 9],
+                "submit_time": [0.0, 60.0, 120.0],
+                "wait_time": [5.0, 0.0, 100.0],
+                "runtime": [1000.0, 2000.0, 50.0],
+                "cores": [512, 1024, 512],
+                "req_walltime": [3600.0, 7200.0, np.nan],
+                "status": [0, 2, 1],
+                "vc": [0, 0, 0],
+            }
+        ),
+    )
+
+
+def test_roundtrip_file(tmp_path):
+    tr = make_trace()
+    path = tmp_path / "trace.swf"
+    write_swf(tr, path)
+    back = read_swf(path, system=MIRA)
+    for col in ("user_id", "cores", "status", "vc"):
+        assert np.array_equal(back[col], tr[col]), col
+    assert np.allclose(back["submit_time"], tr["submit_time"])
+    assert np.allclose(back["runtime"], tr["runtime"])
+    assert np.allclose(back["wait_time"], tr["wait_time"])
+
+
+def test_missing_walltime_roundtrips_as_nan(tmp_path):
+    tr = make_trace()
+    path = tmp_path / "t.swf"
+    write_swf(tr, path)
+    back = read_swf(path, system=MIRA)
+    assert np.isnan(back["req_walltime"][2])
+    assert back["req_walltime"][0] == 3600.0
+
+
+def test_status_mapping():
+    lines = format_swf_lines(make_trace())
+    frame, _ = parse_swf_lines(lines)
+    assert list(frame["status"]) == [
+        int(JobStatus.PASSED),
+        int(JobStatus.KILLED),
+        int(JobStatus.FAILED),
+    ]
+
+
+def test_header_metadata_parsed():
+    lines = ["; Computer: TestBox", "; MaxProcs: 128", "", "; free comment"]
+    _, meta = parse_swf_lines(lines)
+    assert meta["Computer"] == "TestBox"
+    assert meta["MaxProcs"] == "128"
+
+
+def test_malformed_line_raises_with_lineno():
+    with pytest.raises(ValueError, match="line 1"):
+        parse_swf_lines(["1 2 3"])
+
+
+def test_non_numeric_raises():
+    with pytest.raises(ValueError, match="line 1"):
+        parse_swf_lines(["a " * 18])
+
+
+def test_empty_swf():
+    frame, meta = parse_swf_lines([])
+    assert frame.num_rows == 0
+
+
+def test_read_without_system_synthesizes_spec(tmp_path):
+    tr = make_trace()
+    path = tmp_path / "t.swf"
+    write_swf(tr, path)
+    back = read_swf(path)
+    assert back.system.name == MIRA.name
+    assert back.system.cores == MIRA.schedulable_units
+
+
+def test_synthetic_trace_swf_roundtrip(tmp_path):
+    tr = generate_trace("theta", days=1.0, seed=0)
+    path = tmp_path / "theta.swf"
+    write_swf(tr, path)
+    back = read_swf(path, system=tr.system)
+    assert back.num_jobs == tr.num_jobs
+    # times serialize as whole seconds
+    assert np.allclose(back["submit_time"], np.floor(tr["submit_time"]), atol=1)
+    assert np.array_equal(back["cores"], tr["cores"])

@@ -1,0 +1,232 @@
+"""Tests for the synthetic trace generator and behavioural models."""
+
+import numpy as np
+import pytest
+
+from repro.traces import JobStatus, validate_trace
+from repro.traces.synth import (
+    CALIBRATIONS,
+    ConstantDist,
+    LogNormalDist,
+    QueueFeedback,
+    StatusModel,
+    WaitModel,
+    generate_all_traces,
+    generate_trace,
+    get_calibration,
+    queue_length_at_submit,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestStatusModel:
+    MODEL = StatusModel(
+        pass_by_length=(0.9, 0.5, 0.0),
+        killed_share=(0.5, 0.5, 1.0),
+    )
+
+    def test_pass_rate_falls_with_length(self):
+        rng = RNG()
+        short = np.full(20_000, 100.0)
+        long = np.full(20_000, 2 * 86400.0)
+        s_short, _ = self.MODEL.sample(rng, short, np.zeros(20_000, dtype=int))
+        s_long, _ = self.MODEL.sample(rng, long, np.zeros(20_000, dtype=int))
+        assert np.mean(s_short == 0) == pytest.approx(0.9, abs=0.01)
+        assert np.mean(s_long == 0) == 0.0
+
+    def test_long_jobs_killed_not_failed(self):
+        rng = RNG()
+        s, _ = self.MODEL.sample(
+            rng, np.full(5000, 2 * 86400.0), np.zeros(5000, dtype=int)
+        )
+        assert np.all(s == int(JobStatus.KILLED))
+
+    def test_failed_jobs_truncated_early(self):
+        rng = RNG()
+        rt = np.full(50_000, 1000.0)
+        status, adj = self.MODEL.sample(rng, rt, np.zeros(50_000, dtype=int))
+        failed = status == int(JobStatus.FAILED)
+        assert failed.any()
+        assert np.all(adj[failed] <= 0.4 * 1000.0)
+        assert np.all(adj[~failed] == 1000.0)
+
+    def test_size_penalty_reduces_pass(self):
+        model = StatusModel(
+            pass_by_length=(0.8, 0.8, 0.8),
+            killed_share=(0.5, 0.5, 0.5),
+            size_penalty=(1.0, 1.0, 0.5),
+        )
+        rng = RNG()
+        rt = np.full(30_000, 100.0)
+        s_small, _ = model.sample(rng, rt, np.zeros(30_000, dtype=int))
+        s_large, _ = model.sample(rng, rt, np.full(30_000, 2))
+        assert np.mean(s_small == 0) > np.mean(s_large == 0) + 0.3
+
+
+class TestWaitModel:
+    def test_multipliers_shift_waits(self):
+        wm = WaitModel(
+            base=ConstantDist(100.0),
+            zero_wait_fraction=0.0,
+            size_mult=(1.0, 3.0, 1.0),
+            length_mult=(1.0, 1.0, 1.0),
+        )
+        rng = RNG()
+        rt = np.full(10, 100.0)
+        w_small = wm.sample(rng, np.zeros(10, dtype=int), rt)
+        w_mid = wm.sample(rng, np.ones(10, dtype=int), rt)
+        assert np.allclose(w_mid, 3 * w_small)
+
+    def test_zero_wait_fraction(self):
+        wm = WaitModel(base=ConstantDist(1000.0), zero_wait_fraction=0.5)
+        rng = RNG()
+        w = wm.sample(rng, np.zeros(20_000, dtype=int), np.full(20_000, 100.0))
+        assert np.mean(w < 5.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_non_negative(self):
+        wm = WaitModel(base=LogNormalDist(10.0, 2.0), zero_wait_fraction=0.3)
+        w = wm.sample(RNG(), np.zeros(1000, dtype=int), np.full(1000, 5.0))
+        assert np.all(w >= 0)
+
+
+class TestQueueLength:
+    def test_serial_no_overlap(self):
+        submit = np.array([0.0, 100.0, 200.0])
+        wait = np.array([1.0, 1.0, 1.0])
+        q = queue_length_at_submit(submit, wait)
+        assert list(q) == [1, 1, 1]  # only the job itself queued
+
+    def test_burst_builds_queue(self):
+        submit = np.array([0.0, 1.0, 2.0, 3.0])
+        wait = np.full(4, 100.0)
+        assert list(queue_length_at_submit(submit, wait)) == [1, 2, 3, 4]
+
+    def test_zero_wait_never_queued(self):
+        # a job starting instantly spends no time queued, not even its own
+        submit = np.array([0.0, 1.0, 2.0])
+        wait = np.zeros(3)
+        q = queue_length_at_submit(submit, wait)
+        assert list(q) == [0, 0, 0]
+
+    def test_matches_bruteforce(self):
+        rng = RNG(5)
+        submit = np.sort(rng.uniform(0, 1000, 200))
+        wait = rng.exponential(50, 200)
+        q = queue_length_at_submit(submit, wait)
+        starts = submit + wait
+        brute = [
+            int(np.sum((submit <= t) & (starts > t))) for t in submit
+        ]
+        assert list(q) == brute
+
+
+class TestQueueFeedback:
+    def test_disabled_is_identity(self):
+        fb = QueueFeedback()
+        cores = np.array([4, 8])
+        rt = np.array([10.0, 20.0])
+        c2, r2 = fb.apply(RNG(), np.array([5, 10]), cores, rt)
+        assert np.array_equal(c2, cores) and np.array_equal(r2, rt)
+
+    def test_long_queue_shrinks_sizes(self):
+        fb = QueueFeedback(minimal_size_prob=(0.0, 0.0, 1.0))
+        n = 1000
+        qlen = np.concatenate([np.ones(n), np.full(n, 300)])
+        cores = np.full(2 * n, 16)
+        rt = np.full(2 * n, 100.0)
+        c2, _ = fb.apply(RNG(), qlen, cores, rt)
+        assert np.all(c2[:n] == 16)      # short-queue jobs untouched
+        assert np.all(c2[n:] == 1)       # long-queue jobs downgraded
+
+    def test_runtime_shortening_only_reduces(self):
+        fb = QueueFeedback(
+            minimal_size_prob=(0.0, 0.0, 0.0),
+            short_runtime_prob=(1.0, 1.0, 1.0),
+            short_runtime_dist=ConstantDist(50.0),
+        )
+        rt = np.array([10.0, 1000.0])
+        _, r2 = fb.apply(RNG(), np.array([1, 300]), np.array([1, 1]), rt)
+        assert r2[0] == 10.0   # min(10, 50)
+        assert r2[1] == 50.0   # min(1000, 50)
+
+    def test_empty_queue_signal(self):
+        fb = QueueFeedback(minimal_size_prob=(1.0, 1.0, 1.0))
+        c2, _ = fb.apply(RNG(), np.zeros(3), np.array([4, 4, 4]), np.ones(3))
+        assert np.all(c2 == 4)  # no max queue -> no feedback
+
+
+class TestGenerateTrace:
+    def test_deterministic_given_seed(self):
+        a = generate_trace("theta", days=1.0, seed=11)
+        b = generate_trace("theta", days=1.0, seed=11)
+        assert a.jobs == b.jobs
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("theta", days=1.0, seed=1)
+        b = generate_trace("theta", days=1.0, seed=2)
+        assert a.jobs != b.jobs
+
+    def test_all_calibrations_generate_valid_traces(self):
+        for name in CALIBRATIONS:
+            tr = generate_trace(name, days=0.5, seed=4)
+            assert tr.num_jobs > 0, name
+            assert validate_trace(tr).consistent, name
+
+    def test_submit_sorted(self):
+        tr = generate_trace("philly", days=2.0, seed=0)
+        assert np.all(np.diff(tr["submit_time"]) >= 0)
+
+    def test_window_respected(self):
+        days = 2.0
+        tr = generate_trace("mira", days=days, seed=0)
+        assert tr["submit_time"].max() < days * 86400
+
+    def test_rate_override(self):
+        lo = generate_trace("theta", days=2.0, seed=0, jobs_per_day=50)
+        hi = generate_trace("theta", days=2.0, seed=0, jobs_per_day=500)
+        assert hi.num_jobs > 3 * lo.num_jobs
+
+    def test_dl_systems_have_no_walltime(self):
+        tr = generate_trace("helios", days=0.5, seed=0)
+        assert np.all(~np.isfinite(tr["req_walltime"]))
+
+    def test_hpc_walltime_covers_runtime(self):
+        tr = generate_trace("mira", days=2.0, seed=0)
+        passed = tr["status"] == int(JobStatus.PASSED)
+        # walltime factor >= 1.05 and rounded up -> walltime > runtime
+        assert np.all(tr["req_walltime"][passed] >= tr["runtime"][passed])
+
+    def test_philly_virtual_clusters(self):
+        tr = generate_trace("philly", days=2.0, seed=0)
+        vcs = np.unique(tr["vc"])
+        assert vcs.min() >= 1 and vcs.max() <= 14
+        assert len(vcs) > 5
+
+    def test_philly_users_pinned_to_vc(self):
+        tr = generate_trace("philly", days=2.0, seed=0)
+        for u in np.unique(tr["user_id"])[:20]:
+            assert len(np.unique(tr["vc"][tr["user_id"] == u])) == 1
+
+    def test_blue_waters_gpu_pool_tagged(self):
+        tr = generate_trace("blue_waters", days=0.5, seed=0)
+        assert "pool" in tr.jobs
+        frac = tr.jobs["pool"].mean()
+        assert 0.05 < frac < 0.25
+
+    def test_generate_all(self):
+        traces = generate_all_traces(days=0.25, seed=0, systems=["mira", "philly"])
+        assert set(traces) == {"mira", "philly"}
+
+    def test_meta_records_provenance(self):
+        tr = generate_trace("helios", days=0.5, seed=42)
+        assert tr.meta["seed"] == 42
+        assert tr.meta["system"] == "Helios"
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            get_calibration("summit")
+
+    def test_zero_jobs_raises(self):
+        with pytest.raises(ValueError, match="zero jobs"):
+            generate_trace("mira", days=0.001, seed=0, jobs_per_day=0.001)

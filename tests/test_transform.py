@@ -1,0 +1,96 @@
+"""Tests for trace transformation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    anonymize_trace,
+    filter_users,
+    rebase_time,
+    split_by_user,
+    thin_trace,
+    top_users_trace,
+    window_trace,
+)
+from repro.traces.synth import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("theta", days=4, seed=2)
+
+
+def test_window_selects_and_rebases(trace):
+    out = window_trace(trace, 86400.0, 2 * 86400.0)
+    assert out.num_jobs > 0
+    assert out["submit_time"].min() >= 0.0
+    assert out["submit_time"].max() < 86400.0
+
+
+def test_window_without_rebase(trace):
+    out = window_trace(trace, 86400.0, 2 * 86400.0, rebase=False)
+    assert out["submit_time"].min() >= 86400.0
+
+
+def test_window_empty_raises(trace):
+    with pytest.raises(ValueError):
+        window_trace(trace, 100.0, 100.0)
+
+
+def test_thin_scales_count(trace):
+    out = thin_trace(trace, 0.5, rng=np.random.default_rng(0))
+    assert out.num_jobs == pytest.approx(trace.num_jobs * 0.5, rel=0.1)
+    assert out.meta["thinned_to"] == 0.5
+
+
+def test_thin_identity(trace):
+    assert thin_trace(trace, 1.0) is trace
+
+
+def test_thin_validation(trace):
+    with pytest.raises(ValueError):
+        thin_trace(trace, 0.0)
+
+
+def test_filter_users(trace):
+    users = np.unique(trace["user_id"])[:3]
+    out = filter_users(trace, users)
+    assert set(np.unique(out["user_id"])) <= set(users.tolist())
+
+
+def test_top_users(trace):
+    out = top_users_trace(trace, 2)
+    assert len(np.unique(out["user_id"])) == 2
+    # those two must be the heaviest submitters
+    uniq, counts = np.unique(trace["user_id"], return_counts=True)
+    heaviest = set(uniq[np.argsort(-counts)][:2].tolist())
+    assert set(np.unique(out["user_id"]).tolist()) == heaviest
+
+
+def test_anonymize_preserves_structure(trace):
+    out = anonymize_trace(trace, seed=1)
+    assert out.num_jobs == trace.num_jobs
+    # same partition sizes, different labels
+    _, c1 = np.unique(trace["user_id"], return_counts=True)
+    _, c2 = np.unique(out["user_id"], return_counts=True)
+    assert sorted(c1) == sorted(c2)
+    assert out.meta["anonymized"] is True
+
+
+def test_anonymize_deterministic(trace):
+    a = anonymize_trace(trace, seed=5)
+    b = anonymize_trace(trace, seed=5)
+    assert np.array_equal(a["user_id"], b["user_id"])
+
+
+def test_rebase_time(trace):
+    shifted = window_trace(trace, 86400.0, 2 * 86400.0, rebase=False)
+    rebased = rebase_time(shifted)
+    assert rebased["submit_time"].min() == 0.0
+
+
+def test_split_by_user(trace):
+    subs = split_by_user(trace, min_jobs=5)
+    assert all(t.num_jobs >= 5 for t in subs.values())
+    for u, t in list(subs.items())[:5]:
+        assert np.all(t["user_id"] == u)

@@ -1,0 +1,90 @@
+"""Trace validation tests (the Table I consistency screen)."""
+
+import numpy as np
+
+from repro.frame import Frame
+from repro.traces import MIRA, THETA, Trace, validate_trace
+from repro.traces.synth import generate_trace
+
+
+def trace_with(**overrides):
+    cols = {
+        "submit_time": [0.0, 1.0],
+        "runtime": [10.0, 20.0],
+        "cores": [512, 512],
+    }
+    cols.update(overrides)
+    return Trace(system=MIRA, jobs=Frame(cols))
+
+
+def test_clean_trace_is_consistent():
+    report = validate_trace(trace_with())
+    assert report.consistent
+    assert str(report) == "trace is consistent"
+
+
+def test_empty_trace_flagged():
+    tr = Trace(
+        system=MIRA,
+        jobs=Frame({"submit_time": [], "runtime": [], "cores": []}),
+    )
+    assert "empty" in validate_trace(tr).codes()
+
+
+def test_supercloud_style_oversized_request():
+    # the exact inconsistency that got Supercloud excluded from the paper
+    tr = trace_with(cores=[512, MIRA.schedulable_units + 1])
+    report = validate_trace(tr)
+    assert "oversized_request" in report.codes()
+    assert not report.consistent
+
+
+def test_negative_runtime():
+    assert "negative_runtime" in validate_trace(
+        trace_with(runtime=[-1.0, 5.0])
+    ).codes()
+
+
+def test_negative_wait():
+    assert "negative_wait" in validate_trace(
+        trace_with(wait_time=[-2.0, 0.0])
+    ).codes()
+
+
+def test_nonpositive_cores():
+    assert "nonpositive_cores" in validate_trace(
+        trace_with(cores=[0, 512])
+    ).codes()
+
+
+def test_bad_status():
+    assert "bad_status" in validate_trace(trace_with(status=[0, 99])).codes()
+
+
+def test_duplicate_job_ids():
+    assert "duplicate_job_id" in validate_trace(
+        trace_with(job_id=[1, 1])
+    ).codes()
+
+
+def test_nonpositive_walltime():
+    assert "nonpositive_walltime" in validate_trace(
+        trace_with(req_walltime=[0.0, 100.0])
+    ).codes()
+
+
+def test_nan_walltime_allowed():
+    assert validate_trace(trace_with(req_walltime=[np.nan, np.nan])).consistent
+
+
+def test_issue_counts_reported():
+    report = validate_trace(trace_with(cores=[0, 0]))
+    issue = next(i for i in report.issues if i.code == "nonpositive_cores")
+    assert issue.count == 2
+    assert "2 jobs" in str(report)
+
+
+def test_all_synthetic_traces_validate():
+    for name in ("mira", "theta", "philly"):
+        tr = generate_trace(name, days=1.0, seed=3)
+        assert validate_trace(tr).consistent, name

@@ -1,0 +1,47 @@
+"""Tests for the text rendering layer."""
+
+import numpy as np
+
+from repro.viz import bar, percent, render_table, seconds, series_row
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert percent(0.5) == "50.0%"
+        assert percent(0.123456, digits=2) == "12.35%"
+        assert percent(float("nan")) == "-"
+        assert percent(None) == "-"
+
+    def test_seconds_scales(self):
+        assert seconds(5) == "5.0s"
+        assert seconds(90) == "1.5m"
+        assert seconds(7200) == "2.0h"
+        assert seconds(172800) == "2.0d"
+        assert seconds(float("nan")) == "-"
+
+    def test_bar(self):
+        assert bar(0.5, width=4) == "##.."
+        assert bar(0.0, width=4) == "...."
+        assert bar(1.5, width=4) == "####"  # clipped
+        assert bar(float("nan"), width=4) == "    "
+
+
+class TestTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbbb"], [["xx", "y"], ["z", "wwwww"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(l) <= max(len(x) for x in lines) for l in lines)
+
+    def test_title(self):
+        out = render_table(["h"], [["v"]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+        assert "=" in out.splitlines()[1]
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_series_row(self):
+        row = series_row("name", np.array([1.0, np.nan]))
+        assert row == ["name", "1.00", "-"]
