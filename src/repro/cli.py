@@ -6,6 +6,7 @@ Subcommands::
     repro validate  <trace.swf>
     repro analyze   <trace.swf> [--report out.md]
     repro simulate  <trace.swf> [--policy P] [--backfill MODE] [--relax F]
+                    [--mtbf-hours H] [--retries N] [--inject-status] ...
     repro study     [--days D] [--seed S] [--report out.md]
 
 Invoke as ``python -m repro.cli ...``.
@@ -90,12 +91,73 @@ _BACKFILLS = {
 }
 
 
+def _fault_config(args: argparse.Namespace, trace) -> "FaultConfig | None":
+    """Build a FaultConfig from simulate-subcommand flags, or None if off."""
+    from .sched import FaultConfig
+
+    faults_on = args.mtbf_hours > 0 or args.inject_status
+    if not faults_on:
+        return None
+    mtbf = args.mtbf_hours * 3600.0 if args.mtbf_hours > 0 else float("inf")
+    overrides = dict(
+        node_mtbf=mtbf,
+        node_mttr=args.mttr_hours * 3600.0,
+        n_nodes=args.fault_nodes,
+        max_attempts=args.retries + 1,
+        backoff_base=args.backoff,
+        checkpoint_interval=(
+            args.checkpoint_hours * 3600.0 if args.checkpoint_hours > 0 else None
+        ),
+        seed=args.fault_seed,
+    )
+    if args.inject_status:
+        return FaultConfig.from_trace(trace, **overrides)
+    return FaultConfig(**overrides)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = read_swf(args.trace)
     workload = workload_from_trace(trace)
     if args.max_jobs:
         workload = workload.slice(args.max_jobs)
     backfill = _BACKFILLS[args.backfill](args)
+    try:
+        faults = _fault_config(args, trace)
+    except ValueError as exc:
+        print(f"invalid fault configuration: {exc}", file=sys.stderr)
+        return 2
+    if faults is not None:
+        from .sched import compute_resilience_metrics
+
+        result = simulate(
+            workload,
+            trace.system.schedulable_units,
+            args.policy,
+            backfill,
+            faults=faults,
+        )
+        rm = compute_resilience_metrics(result)
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["jobs", str(workload.n)],
+                    ["goodput (core-h)", f"{rm.goodput_core_hours:,.0f}"],
+                    ["wasted (core-h)", f"{rm.wasted_core_hours:,.0f}"],
+                    ["effective util", f"{rm.effective_util:.4f}"],
+                    ["completed", f"{rm.completed_fraction:.2%}"],
+                    ["failed", f"{rm.failed_fraction:.2%}"],
+                    ["killed", f"{rm.killed_fraction:.2%}"],
+                    ["mean attempts", f"{rm.mean_attempts:.2f}"],
+                    ["avg wait", seconds(rm.mean_wait)],
+                ],
+                title=(
+                    f"{trace.system.name}: {args.policy} + {args.backfill} "
+                    "(with faults)"
+                ),
+            )
+        )
+        return 0
     metrics = compute_metrics(
         simulate(workload, trace.system.schedulable_units, args.policy, backfill)
     )
@@ -172,6 +234,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--relax", type=float, default=0.1)
     p.add_argument("--max-jobs", type=int, default=0)
+    fault = p.add_argument_group("fault injection (docs/RESILIENCE.md)")
+    fault.add_argument(
+        "--mtbf-hours",
+        type=float,
+        default=0.0,
+        help="per-node mean time between failures; 0 = no node faults",
+    )
+    fault.add_argument(
+        "--mttr-hours", type=float, default=1.0, help="mean time to repair"
+    )
+    fault.add_argument(
+        "--fault-nodes", type=int, default=16, help="node count for failures"
+    )
+    fault.add_argument(
+        "--retries", type=int, default=0, help="resubmissions after a fault"
+    )
+    fault.add_argument(
+        "--backoff", type=float, default=60.0, help="base resubmit delay (s)"
+    )
+    fault.add_argument(
+        "--checkpoint-hours",
+        type=float,
+        default=0.0,
+        help="checkpoint interval; 0 = no checkpointing",
+    )
+    fault.add_argument(
+        "--inject-status",
+        action="store_true",
+        help="sample FAILED/KILLED faults from the trace's own status mix",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-process RNG seed"
+    )
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser(

@@ -17,6 +17,7 @@ from . import (
     ext_isolation,
     ext_policies,
     ext_predictive,
+    ext_resilience,
     ext_tradeoff,
     robustness,
     fig1,
@@ -82,6 +83,10 @@ REGISTRY = {
     "ext_policies": (
         ext_policies,
         "Extension: queue-policy comparison grid",
+    ),
+    "ext_resilience": (
+        ext_resilience,
+        "Extension: backfilling resilience under fault injection",
     ),
 }
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -34,6 +35,12 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=DEFAULT_SEED, help="generator seed"
     )
     parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=0,
+        help="cap simulated jobs (experiments that take max_jobs; 0 = default)",
+    )
+    parser.add_argument(
         "--save",
         metavar="DIR",
         help="also write <exp>.txt and <exp>.json into DIR",
@@ -49,7 +56,15 @@ def main(argv: list[str] | None = None) -> int:
     for exp_id in ids:
         t0 = time.time()
         try:
-            result = run_experiment(exp_id, days=args.days, seed=args.seed)
+            kwargs = {"days": args.days, "seed": args.seed}
+            entry = REGISTRY.get(exp_id)
+            if (
+                args.max_jobs > 0
+                and entry is not None
+                and "max_jobs" in inspect.signature(entry[0].run).parameters
+            ):
+                kwargs["max_jobs"] = args.max_jobs
+            result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2

@@ -25,21 +25,30 @@ def run(
     n_seeds: int = 5,
 ) -> ExperimentResult:
     """Evaluate takeaway hold-rates over ``n_seeds`` independent studies."""
-    hold_matrix = np.zeros((n_seeds, 8), dtype=bool)
+    # the takeaway count is derived from the study itself so adding or
+    # removing a takeaway cannot silently truncate the matrix
+    hold_rows: list[list[bool]] = []
     titles: list[str] = []
     for i in range(n_seeds):
         study = CrossSystemStudy.generate(days=days, seed=seed + 101 * i)
         takeaways = study.takeaways()
         if not titles:
             titles = [t.title for t in takeaways]
-        hold_matrix[i] = [t.holds for t in takeaways]
+        elif len(takeaways) != len(titles):
+            raise RuntimeError(
+                "takeaway count changed across seeds: "
+                f"{len(titles)} vs {len(takeaways)}"
+            )
+        hold_rows.append([t.holds for t in takeaways])
+    hold_matrix = np.asarray(hold_rows, dtype=bool)
+    n_takeaways = hold_matrix.shape[1]
 
     result = ExperimentResult(
         exp_id="robustness",
         title=f"Takeaway robustness over {n_seeds} seeds x {days:g} days",
     )
     rows = []
-    for k in range(8):
+    for k in range(n_takeaways):
         rate = hold_matrix[:, k].mean()
         rows.append(
             [
@@ -65,7 +74,7 @@ def run(
         )
     )
     result.data = {
-        f"T{k + 1}": float(hold_matrix[:, k].mean()) for k in range(8)
+        f"T{k + 1}": float(hold_matrix[:, k].mean()) for k in range(n_takeaways)
     }
     result.data["per_seed"] = hold_matrix.tolist()
     return result

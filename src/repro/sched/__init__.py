@@ -5,12 +5,22 @@ from .cluster import Cluster
 from .conservative import simulate_conservative
 from .engine import SimResult, simulate
 from .export import result_to_trace
+from .faults import (
+    NO_FAULTS,
+    FaultConfig,
+    FaultSimResult,
+    FaultyCluster,
+    simulate_packed_with_faults,
+    simulate_with_faults,
+)
 from .job import SimWorkload, workload_from_trace
 from .metrics import (
     BSLD_BOUND,
+    ResilienceMetrics,
     ScheduleMetrics,
     bounded_slowdown,
     compute_metrics,
+    compute_resilience_metrics,
     observed_metrics,
 )
 from .nodes import NodeCluster, PackedSimResult, simulate_packed
@@ -26,6 +36,14 @@ from .virtual import (
 __all__ = [
     "simulate",
     "simulate_conservative",
+    "simulate_with_faults",
+    "simulate_packed_with_faults",
+    "FaultConfig",
+    "FaultSimResult",
+    "FaultyCluster",
+    "NO_FAULTS",
+    "ResilienceMetrics",
+    "compute_resilience_metrics",
     "simulate_virtual_clusters",
     "simulate_with_predictions",
     "VirtualClusterResult",

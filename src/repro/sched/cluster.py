@@ -61,6 +61,14 @@ class Cluster:
         """Number of running jobs."""
         return len(self._running)
 
+    def running_jobs(self) -> list[int]:
+        """Ids of currently running jobs (insertion order)."""
+        return list(self._running)
+
+    def cores_of(self, job: int) -> int:
+        """Units held by a running ``job``."""
+        return self._running[job][1]
+
     def _sorted_running(self) -> list[tuple[float, int]]:
         if self._sorted_cache is None:
             self._sorted_cache = sorted(self._running.values())

@@ -7,10 +7,11 @@ Implemented with a :class:`~repro.sched.profile.CapacityProfile` rebuilt at
 each scheduling round (running jobs + queued reservations in priority
 order).
 
-Also the home of walltime-kill semantics: with ``kill_at_walltime`` a job
-whose runtime exceeds its (possibly predicted) walltime is terminated at
-the walltime — the failure mode that makes runtime *under*-estimation
-expensive and motivates the paper's use case 1.
+Walltime-kill semantics (``kill_at_walltime``): a job whose runtime exceeds
+its (possibly predicted) walltime is terminated at the walltime — the
+failure mode that makes runtime *under*-estimation expensive and motivates
+the paper's use case 1.  The truncation itself is shared with the EASY
+engine via :meth:`~repro.sched.job.SimWorkload.clipped_to_walltime`.
 """
 
 from __future__ import annotations
@@ -20,7 +21,6 @@ import heapq
 import numpy as np
 
 from .engine import SimResult
-from .job import SimWorkload
 from .policies import Policy, get_policy
 from .profile import CapacityProfile
 
@@ -48,14 +48,12 @@ def simulate_conservative(
     if int(workload.cores.max()) > capacity:
         raise ValueError("job larger than cluster capacity")
 
+    if kill_at_walltime:
+        workload = workload.clipped_to_walltime()
     submit = workload.submit
     cores = workload.cores
     walltime = workload.walltime
-    runtime = (
-        np.minimum(workload.runtime, walltime)
-        if kill_at_walltime
-        else workload.runtime
-    )
+    runtime = workload.runtime
 
     start = np.full(n, -1.0)
     promised = np.full(n, np.nan)
@@ -109,15 +107,8 @@ def simulate_conservative(
         schedule(now)
 
     assert not pending and np.all(start >= 0), "scheduler left jobs unserved"
-    effective = SimWorkload(
-        submit=submit,
-        cores=cores,
-        runtime=runtime,
-        walltime=walltime,
-        user=workload.user,
-    )
     return SimResult(
-        workload=effective,
+        workload=workload,
         capacity=capacity,
         start=start,
         promised=promised,

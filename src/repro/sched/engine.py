@@ -70,7 +70,8 @@ def simulate(
     backfill: BackfillConfig = EASY,
     track_queue: bool = False,
     kill_at_walltime: bool = False,
-) -> SimResult:
+    faults=None,
+):
     """Run the scheduler over a workload and return per-job start times.
 
     Parameters
@@ -90,7 +91,25 @@ def simulate(
         Terminate jobs at their walltime (relevant when walltimes come
         from a *predictor* that may underestimate; see
         :mod:`repro.sched.predictive`).
+    faults:
+        Optional :class:`~repro.sched.faults.FaultConfig`.  When given,
+        the run is delegated to
+        :func:`~repro.sched.faults.simulate_with_faults` and returns its
+        :class:`~repro.sched.faults.FaultSimResult` (which reduces to
+        this engine's behaviour for a null config).
     """
+    if faults is not None:
+        from .faults import simulate_with_faults
+
+        return simulate_with_faults(
+            workload,
+            capacity,
+            policy,
+            backfill,
+            faults,
+            track_queue=track_queue,
+            kill_at_walltime=kill_at_walltime,
+        )
     if isinstance(policy, str):
         policy = get_policy(policy)
     n = workload.n
@@ -99,14 +118,12 @@ def simulate(
     if int(workload.cores.max()) > capacity:
         raise ValueError("job larger than cluster capacity")
 
+    if kill_at_walltime:
+        workload = workload.clipped_to_walltime()
     submit = workload.submit
     cores = workload.cores
     walltime = workload.walltime
-    runtime = (
-        np.minimum(workload.runtime, walltime)
-        if kill_at_walltime
-        else workload.runtime
-    )
+    runtime = workload.runtime
     users = workload.user
 
     # fair-share support: decayed per-user core-second usage
@@ -218,14 +235,6 @@ def simulate(
         schedule(now)
 
     assert not pending and np.all(start >= 0), "scheduler left jobs unserved"
-    if kill_at_walltime:
-        workload = SimWorkload(
-            submit=submit,
-            cores=cores,
-            runtime=runtime,
-            walltime=walltime,
-            user=workload.user,
-        )
     return SimResult(
         workload=workload,
         capacity=capacity,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..traces.schema import Trace
+from ..traces.schema import JobStatus, Trace
 
 __all__ = ["SimWorkload", "workload_from_trace"]
 
@@ -28,10 +28,18 @@ class SimWorkload:
     runtime: np.ndarray
     walltime: np.ndarray
     user: np.ndarray
+    #: recorded terminal :class:`~repro.traces.schema.JobStatus` codes; the
+    #: fault injector calibrates intrinsic failure mixes from them.  All
+    #: PASSED when the source carries no status information.
+    status: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         n = len(self.submit)
-        for name in ("cores", "runtime", "walltime", "user"):
+        if self.status is None:
+            self.status = np.full(n, int(JobStatus.PASSED), dtype=np.int64)
+        else:
+            self.status = np.asarray(self.status).astype(np.int64)
+        for name in ("cores", "runtime", "walltime", "user", "status"):
             if len(getattr(self, name)) != n:
                 raise ValueError(f"{name} length mismatch")
         if n and np.any(np.diff(self.submit) < 0):
@@ -58,6 +66,24 @@ class SimWorkload:
             runtime=self.runtime[:limit],
             walltime=self.walltime[:limit],
             user=self.user[:limit],
+            status=self.status[:limit],
+        )
+
+    def clipped_to_walltime(self) -> "SimWorkload":
+        """Effective workload when the scheduler kills jobs at walltime.
+
+        Runtimes are truncated to the (possibly predicted, possibly too
+        short) walltime — the shared ``kill_at_walltime`` semantics of the
+        EASY and conservative engines, so :attr:`SimResult.end` reflects
+        the truncated runtimes in both.
+        """
+        return SimWorkload(
+            submit=self.submit,
+            cores=self.cores,
+            runtime=np.minimum(self.runtime, self.walltime),
+            walltime=self.walltime,
+            user=self.user,
+            status=self.status,
         )
 
 
@@ -88,4 +114,5 @@ def workload_from_trace(
         runtime=runtime,
         walltime=wall,
         user=jobs["user_id"].astype(np.int64),
+        status=jobs["status"].astype(np.int64),
     )

@@ -7,21 +7,32 @@
 * **util** — consumed core-hours over available core-hours of the makespan.
 * **violation** — mean delay (seconds) of reserved head-of-queue jobs past
   their first promised start; the cost of *relaxing* backfilling.
+
+Under fault injection (:mod:`repro.sched.faults`) utilization splits into
+**goodput** (core-hours of completed jobs' useful work) and **waste**
+(core-hours occupied by attempts that produced nothing) —
+:func:`compute_resilience_metrics`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .engine import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultSimResult
 
 __all__ = [
     "ScheduleMetrics",
     "compute_metrics",
     "observed_metrics",
     "bounded_slowdown",
+    "ResilienceMetrics",
+    "compute_resilience_metrics",
 ]
 
 #: Feitelson's interactivity threshold for bounded slowdown (seconds)
@@ -81,6 +92,73 @@ def compute_metrics(result: SimResult, bound: float = BSLD_BOUND) -> ScheduleMet
         violation=violation,
         violation_count=int(violated.sum()),
         n_jobs=w.n,
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceMetrics:
+    """Aggregate resilience metrics of one fault-injected run."""
+
+    #: core-hours of useful (eventually completed) work
+    goodput_core_hours: float
+    #: core-hours occupied by attempts that produced nothing
+    wasted_core_hours: float
+    #: goodput over available core-hours of the makespan
+    effective_util: float
+    #: fraction of jobs reaching PASSED
+    completed_fraction: float
+    #: fraction ending FAILED (intrinsic faults, retries exhausted)
+    failed_fraction: float
+    #: fraction ending KILLED (user cancels + node kills past max attempts)
+    killed_fraction: float
+    mean_attempts: float
+    max_attempts: int
+    #: mean time from submission to first service (seconds)
+    mean_wait: float
+    n_jobs: int
+
+    @property
+    def waste_share(self) -> float:
+        """Wasted fraction of all occupied core-hours."""
+        total = self.goodput_core_hours + self.wasted_core_hours
+        return self.wasted_core_hours / total if total > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for table rendering / JSON export."""
+        return {
+            "goodput_core_hours": self.goodput_core_hours,
+            "wasted_core_hours": self.wasted_core_hours,
+            "effective_util": self.effective_util,
+            "completed_fraction": self.completed_fraction,
+            "failed_fraction": self.failed_fraction,
+            "killed_fraction": self.killed_fraction,
+            "mean_attempts": self.mean_attempts,
+            "max_attempts": self.max_attempts,
+            "mean_wait": self.mean_wait,
+            "n_jobs": self.n_jobs,
+        }
+
+
+def compute_resilience_metrics(result: "FaultSimResult") -> ResilienceMetrics:
+    """Goodput/waste accounting of a :func:`simulate_with_faults` run."""
+    from ..traces.schema import JobStatus
+
+    goodput = result.goodput_core_seconds
+    wasted = result.wasted_core_seconds
+    makespan = result.makespan
+    available = result.capacity * makespan
+    status = result.status
+    return ResilienceMetrics(
+        goodput_core_hours=goodput / 3600.0,
+        wasted_core_hours=wasted / 3600.0,
+        effective_util=goodput / available if available > 0 else 0.0,
+        completed_fraction=float((status == int(JobStatus.PASSED)).mean()),
+        failed_fraction=float((status == int(JobStatus.FAILED)).mean()),
+        killed_fraction=float((status == int(JobStatus.KILLED)).mean()),
+        mean_attempts=float(result.attempts.mean()),
+        max_attempts=int(result.attempts.max()),
+        mean_wait=float(result.wait.mean()),
+        n_jobs=result.workload.n,
     )
 
 

@@ -93,6 +93,49 @@ class TestRobustness:
         assert np.asarray(result.data["per_seed"]).shape == (2, 8)
 
 
+class TestResilienceExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_resilience", days=DAYS, seed=SEED, max_jobs=600
+        )
+
+    def test_grid_complete(self, result):
+        assert set(result.data) == {"none", "weekly", "daily"}
+        for level in result.data.values():
+            assert set(level) == {"drop", "retry", "retry+ckpt"}
+            for cells in level.values():
+                assert set(cells) == {"easy", "relaxed", "adaptive"}
+
+    def test_intrinsic_faults_active_even_without_node_failures(self, result):
+        # "none" disables the node MTBF process only; the intrinsic
+        # FAILED/KILLED mix calibrated from the trace still applies
+        for cells in result.data["none"]["drop"].values():
+            assert cells["mean_attempts"] == 1.0  # drop = no retries
+            assert cells["completed_fraction"] < 1.0
+            assert cells["wasted_core_hours"] > 0.0
+
+    def test_failures_cost_goodput(self, result):
+        for rname in ("drop", "retry", "retry+ckpt"):
+            for bname in ("easy", "relaxed", "adaptive"):
+                clean = result.data["none"][rname][bname]
+                harsh = result.data["daily"][rname][bname]
+                assert harsh["goodput_core_hours"] <= clean["goodput_core_hours"]
+                assert harsh["wasted_core_hours"] > 0.0
+
+    def test_retry_recovers_jobs(self, result):
+        for bname in ("easy", "relaxed", "adaptive"):
+            drop = result.data["daily"]["drop"][bname]
+            retry = result.data["daily"]["retry"][bname]
+            assert retry["completed_fraction"] >= drop["completed_fraction"]
+            assert retry["mean_attempts"] >= drop["mean_attempts"]
+
+    def test_render_reports_goodput(self, result):
+        text = result.render()
+        assert "goodput (core-h)" in text
+        assert "retry+ckpt" in text
+
+
 class TestSaving:
     def test_save_roundtrip(self, tmp_path):
         result = run_experiment("table1")

@@ -18,11 +18,14 @@ from hypothesis import strategies as st
 from repro.sched import (
     EASY,
     NO_BACKFILL,
+    NO_FAULTS,
+    FaultConfig,
     SimWorkload,
     adaptive_relaxed,
     relaxed,
     simulate,
     simulate_conservative,
+    simulate_with_faults,
 )
 
 CAPACITY = 16
@@ -165,3 +168,83 @@ class TestCrossEngineConsistency:
         starts = res.start[order]
         ends = starts + wl1.runtime[order]
         assert np.all(starts[1:] >= ends[:-1] - 1e-6)
+
+
+#: a harsh fault regime on the scale of the generated workloads
+HARSH_FAULTS = FaultConfig(
+    node_mtbf=300.0,
+    node_mttr=100.0,
+    n_nodes=4,
+    fail_prob=0.1,
+    kill_prob=0.05,
+    max_attempts=3,
+    backoff_base=10.0,
+    checkpoint_interval=50.0,
+    seed=7,
+)
+
+
+class TestFaultInvariants:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_zero_failure_config_is_identity(self, workload):
+        """A null fault config must reproduce simulate() bit-for-bit."""
+        for bf in BACKFILLS:
+            base = simulate(workload, CAPACITY, "fcfs", bf)
+            res = simulate_with_faults(workload, CAPACITY, "fcfs", bf, NO_FAULTS)
+            assert np.array_equal(res.start, base.start)
+            assert np.array_equal(res.promised, base.promised, equal_nan=True)
+            assert np.array_equal(res.backfilled, base.backfilled)
+            assert res.makespan == base.makespan
+            assert np.array_equal(res.wait, base.wait)
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_no_overcommit_under_faults(self, workload):
+        """Attempts (including killed partial runs) never overcommit cores."""
+        for bf in (EASY, adaptive_relaxed(0.2)):
+            res = simulate_with_faults(
+                workload, CAPACITY, "fcfs", bf, HARSH_FAULTS
+            )
+            if len(res.attempt_job) == 0:
+                continue
+            peak = max_concurrent_usage(
+                res.attempt_start,
+                res.attempt_elapsed,
+                workload.cores[res.attempt_job],
+            )
+            assert peak <= CAPACITY
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_all_jobs_reach_a_terminal_state(self, workload):
+        res = simulate_with_faults(
+            workload, CAPACITY, "fcfs", EASY, HARSH_FAULTS
+        )
+        assert np.all(res.status >= 0)
+        assert np.all(res.attempts >= 1)
+        assert np.all(res.attempts <= HARSH_FAULTS.max_attempts)
+        assert np.all(np.isfinite(res.end))
+        assert np.all(res.start >= workload.submit - 1e-9)
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_fault_runs_are_deterministic(self, workload):
+        a = simulate_with_faults(workload, CAPACITY, "fcfs", EASY, HARSH_FAULTS)
+        b = simulate_with_faults(workload, CAPACITY, "fcfs", EASY, HARSH_FAULTS)
+        assert np.array_equal(a.start, b.start)
+        assert np.array_equal(a.end, b.end)
+        assert np.array_equal(a.status, b.status)
+        assert np.array_equal(a.attempt_outcome, b.attempt_outcome)
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_waste_accounting_is_consistent(self, workload):
+        res = simulate_with_faults(
+            workload, CAPACITY, "fcfs", EASY, HARSH_FAULTS
+        )
+        consumed = res.consumed_core_seconds
+        assert res.goodput_core_seconds <= consumed + 1e-6
+        assert consumed == pytest.approx(
+            res.goodput_core_seconds + res.wasted_core_seconds
+        )
