@@ -1,0 +1,169 @@
+"""Overhead guarantee of the observability layer.
+
+``_baseline_simulate`` is a frozen copy of the EASY engine's hot loop from
+*before* observability was wired in (fcfs-only, no fair-share bookkeeping —
+exactly the code path the instrumented engine takes for these inputs).
+The instrumented engine with **no sinks attached** must stay within a fixed
+wall-time ratio of that baseline — the disabled path costs only a handful
+of ``None`` checks — and must of course produce an identical schedule.
+
+Active tracing gets a deliberately loose sanity bound: capturing the full
+decision log may cost real time, it just must not be catastrophic.
+"""
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.obs import Metrics, Profiler, RingBufferTracer
+from repro.sched import EASY, simulate, workload_from_trace
+from repro.sched.cluster import Cluster
+from repro.sched.policies import get_policy
+from repro.traces.synth import generate_trace
+
+#: disabled observability must stay within this factor of the baseline
+NOOP_RATIO_LIMIT = 1.6
+#: full ring-buffer tracing + metrics + profiling: loose sanity bound only
+ACTIVE_RATIO_LIMIT = 10.0
+
+
+def _baseline_simulate(workload, capacity, backfill=EASY):
+    """Pre-observability EASY engine (fcfs), kept for overhead comparison."""
+    policy = get_policy("fcfs")
+    n = workload.n
+    submit = workload.submit
+    cores = workload.cores
+    walltime = workload.walltime
+    runtime = workload.runtime
+
+    cluster = Cluster(capacity)
+    start = np.full(n, -1.0)
+    promised = np.full(n, np.nan)
+    backfilled = np.zeros(n, dtype=bool)
+
+    pending = []
+    finish_heap = []
+    next_submit = 0
+    observed_max_q = 0
+    INF = float("inf")
+
+    def start_job(j, now):
+        cluster.start(j, int(cores[j]), now + walltime[j])
+        start[j] = now
+        heapq.heappush(finish_heap, (now + runtime[j], j))
+
+    def schedule(now):
+        nonlocal observed_max_q
+        observed_max_q = max(observed_max_q, len(pending))
+        while pending:
+            arr = np.asarray(pending)
+            order = policy.order(submit[arr], cores[arr], walltime[arr], now)
+            ranked = arr[order]
+            head = int(ranked[0])
+            if cluster.can_start(int(cores[head])):
+                start_job(head, now)
+                pending.remove(head)
+                continue
+            shadow, extra = cluster.reservation(int(cores[head]), now)
+            if np.isnan(promised[head]):
+                promised[head] = shadow
+            if backfill.enabled:
+                frac = backfill.relax_fraction(len(pending), observed_max_q)
+                limit = shadow + frac * max(shadow - submit[head], 0.0)
+                started = []
+                for j in ranked[1:]:
+                    j = int(j)
+                    c = int(cores[j])
+                    if c > cluster.free:
+                        continue
+                    fits_window = now + walltime[j] <= limit
+                    fits_extra = c <= extra
+                    if fits_window or fits_extra:
+                        start_job(j, now)
+                        backfilled[j] = True
+                        started.append(j)
+                        if not fits_window:
+                            extra -= c
+                        if cluster.free == 0:
+                            break
+                for j in started:
+                    pending.remove(j)
+            break
+
+    while next_submit < n or finish_heap:
+        t_sub = submit[next_submit] if next_submit < n else INF
+        t_fin = finish_heap[0][0] if finish_heap else INF
+        now = min(t_sub, t_fin)
+        while finish_heap and finish_heap[0][0] <= now:
+            _, j = heapq.heappop(finish_heap)
+            cluster.finish(j)
+        while next_submit < n and submit[next_submit] <= now:
+            pending.append(next_submit)
+            next_submit += 1
+        schedule(now)
+
+    return start, promised, backfilled
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _bench_workload():
+    trace = generate_trace("theta", days=4, seed=5)
+    return workload_from_trace(trace), trace.system.schedulable_units
+
+
+def test_bench_noop_observability_overhead():
+    """simulate() with no sinks stays within NOOP_RATIO_LIMIT of baseline."""
+    workload, capacity = _bench_workload()
+
+    t_base, (b_start, b_promised, b_backfilled) = _best_of(
+        lambda: _baseline_simulate(workload, capacity)
+    )
+    t_noop, res = _best_of(lambda: simulate(workload, capacity, "fcfs", EASY))
+
+    # same schedule, bit for bit — instrumentation observes, never decides
+    assert np.array_equal(res.start, b_start)
+    assert np.array_equal(res.promised, b_promised, equal_nan=True)
+    assert np.array_equal(res.backfilled, b_backfilled)
+
+    ratio = t_noop / t_base
+    assert ratio <= NOOP_RATIO_LIMIT, (
+        f"disabled observability costs {ratio:.2f}x the baseline "
+        f"({t_noop * 1e3:.1f} ms vs {t_base * 1e3:.1f} ms)"
+    )
+
+
+def test_bench_active_observability_sanity():
+    """Full tracing + metrics + profiling stays within a loose bound."""
+    workload, capacity = _bench_workload()
+
+    t_base, (b_start, _, _) = _best_of(
+        lambda: _baseline_simulate(workload, capacity), repeats=3
+    )
+    t_obs, res = _best_of(
+        lambda: simulate(
+            workload,
+            capacity,
+            "fcfs",
+            EASY,
+            tracer=RingBufferTracer(),
+            metrics=Metrics(sample_interval=600.0),
+            profiler=Profiler(),
+        ),
+        repeats=3,
+    )
+
+    assert np.array_equal(res.start, b_start)
+    ratio = t_obs / t_base
+    assert ratio <= ACTIVE_RATIO_LIMIT, (
+        f"active observability costs {ratio:.2f}x the baseline"
+    )

@@ -6,7 +6,9 @@ Subcommands::
     repro validate  <trace.swf>
     repro analyze   <trace.swf> [--report out.md]
     repro simulate  <trace.swf> [--policy P] [--backfill MODE] [--relax F]
-                    [--mtbf-hours H] [--retries N] [--inject-status] ...
+                    [--mtbf-hours H] [--retries N] [--inject-status]
+                    [--trace-out events.jsonl] [--metrics-out m.json|m.prom]
+                    [--profile] ...
     repro study     [--days D] [--seed S] [--report out.md]
 
 Invoke as ``python -m repro.cli ...``.
@@ -15,6 +17,7 @@ Invoke as ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -115,6 +118,59 @@ def _fault_config(args: argparse.Namespace, trace) -> "FaultConfig | None":
     return FaultConfig(**overrides)
 
 
+def _ensure_parent(path: Path) -> Path:
+    """Create ``path``'s parent directory, with a clear error on conflict.
+
+    Raising :class:`ValueError` (instead of letting ``open`` die with a raw
+    ``FileNotFoundError``) lets the CLI print one actionable line and exit 2.
+    """
+    parent = path.parent
+    if parent.exists() and not parent.is_dir():
+        raise ValueError(f"cannot write {path}: {parent} is not a directory")
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ValueError(f"cannot create directory {parent}: {exc}") from exc
+    if path.is_dir():
+        raise ValueError(f"cannot write {path}: it is a directory")
+    return path
+
+
+def _obs_sinks(args: argparse.Namespace):
+    """(tracer, metrics, profiler) from the observability flags; None = off."""
+    from .obs import JsonlTracer, Metrics, Profiler
+
+    tracer = metrics = profiler = None
+    if args.trace_out:
+        tracer = JsonlTracer(_ensure_parent(args.trace_out))
+    if args.metrics_out:
+        _ensure_parent(args.metrics_out)
+        metrics = Metrics(sample_interval=args.metrics_interval)
+    if args.profile:
+        profiler = Profiler()
+    return tracer, metrics, profiler
+
+
+def _finish_obs(args: argparse.Namespace, result, tracer, metrics, profiler) -> None:
+    """Flush the observability sinks after a simulate run."""
+    if tracer is not None:
+        tracer.close()
+        print(f"wrote {tracer.count} events to {args.trace_out}")
+    if metrics is not None:
+        path: Path = args.metrics_out
+        if path.suffix == ".prom":
+            path.write_text(metrics.to_prometheus(), encoding="utf-8")
+        else:
+            payload = {
+                "summary": result.to_dict(),
+                "metrics": json.loads(metrics.to_json(indent=None)),
+            }
+            path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        print(f"wrote metrics to {path}")
+    if profiler is not None:
+        print(profiler.report())
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     trace = read_swf(args.trace)
     workload = workload_from_trace(trace)
@@ -126,16 +182,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
+    try:
+        tracer, obs_metrics, profiler = _obs_sinks(args)
+    except ValueError as exc:
+        print(f"invalid observability output: {exc}", file=sys.stderr)
+        return 2
+    result = simulate(
+        workload,
+        trace.system.schedulable_units,
+        args.policy,
+        backfill,
+        faults=faults,
+        tracer=tracer,
+        metrics=obs_metrics,
+        profiler=profiler,
+    )
     if faults is not None:
         from .sched import compute_resilience_metrics
 
-        result = simulate(
-            workload,
-            trace.system.schedulable_units,
-            args.policy,
-            backfill,
-            faults=faults,
-        )
         rm = compute_resilience_metrics(result)
         print(
             render_table(
@@ -157,23 +221,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 ),
             )
         )
-        return 0
-    metrics = compute_metrics(
-        simulate(workload, trace.system.schedulable_units, args.policy, backfill)
-    )
-    print(
-        render_table(
-            ["metric", "value"],
-            [
-                ["jobs", str(workload.n)],
-                ["avg wait", seconds(metrics.wait)],
-                ["bounded slowdown", f"{metrics.bsld:.2f}"],
-                ["utilization", f"{metrics.util:.4f}"],
-                ["violation", seconds(metrics.violation)],
-            ],
-            title=f"{trace.system.name}: {args.policy} + {args.backfill}",
+    else:
+        metrics = compute_metrics(result)
+        print(
+            render_table(
+                ["metric", "value"],
+                [
+                    ["jobs", str(workload.n)],
+                    ["avg wait", seconds(metrics.wait)],
+                    ["bounded slowdown", f"{metrics.bsld:.2f}"],
+                    ["utilization", f"{metrics.util:.4f}"],
+                    ["violation", seconds(metrics.violation)],
+                ],
+                title=f"{trace.system.name}: {args.policy} + {args.backfill}",
+            )
         )
-    )
+    _finish_obs(args, result, tracer, obs_metrics, profiler)
     return 0
 
 
@@ -266,6 +329,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     fault.add_argument(
         "--fault-seed", type=int, default=0, help="fault-process RNG seed"
+    )
+    obs = p.add_argument_group("observability (docs/OBSERVABILITY.md)")
+    obs.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write the structured event stream as JSONL",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        help="write metrics (.prom = Prometheus text, else JSON)",
+    )
+    obs.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=600.0,
+        help="sim-time resolution (s) of the gauge time series",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="time the engine hot paths and print a breakdown",
     )
     p.set_defaults(fn=_cmd_simulate)
 

@@ -15,6 +15,7 @@ from . import (
     ext_fragmentation,
     ext_hybrid,
     ext_isolation,
+    ext_observability,
     ext_policies,
     ext_predictive,
     ext_resilience,
@@ -87,6 +88,10 @@ REGISTRY = {
     "ext_resilience": (
         ext_resilience,
         "Extension: backfilling resilience under fault injection",
+    ),
+    "ext_observability": (
+        ext_observability,
+        "Extension: structured tracing of a fault-injected run",
     ),
 }
 

@@ -1,0 +1,67 @@
+"""Observability layer: structured tracing, metrics, and profiling.
+
+The simulation engines are instrumented with three independent, individually
+optional sinks (``simulate(..., tracer=, metrics=, profiler=)``):
+
+* **tracing** (:mod:`repro.obs.tracer`) — typed decision events (submit,
+  start, finish, reservation, backfill, node-fail/repair, retry,
+  checkpoint) with sim-time and decision context; JSONL and ring-buffer
+  backends;
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges and
+  log-bucketed histograms plus a sim-time-sampled utilization/queue-depth
+  series; JSON and Prometheus text exports;
+* **profiling** (:mod:`repro.obs.profiling`) — ``perf_counter`` spans
+  around engine hot paths with a per-run wall-time breakdown.
+
+All three default to shared no-op objects so the uninstrumented hot path
+stays effectively free (see ``benchmarks/test_bench_obs_overhead.py``),
+and a run with sinks attached is **bit-identical** to one without — the
+instrumentation observes, never decides.  :mod:`repro.obs.timeline`
+replays captured streams into audits and schedule timelines.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and worked examples.
+"""
+
+from . import events
+from .events import CAPACITY_EVENTS, EVENT_KINDS, make_event
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
+from .profiling import NULL_PROFILER, NullProfiler, Profiler
+from .tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RingBufferTracer,
+    Tracer,
+)
+from .timeline import (
+    check_events,
+    read_jsonl,
+    render_timeline,
+    summarize_events,
+    utilization_series,
+)
+
+__all__ = [
+    "events",
+    "make_event",
+    "EVENT_KINDS",
+    "CAPACITY_EVENTS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "RingBufferTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "DEFAULT_BUCKETS",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "check_events",
+    "read_jsonl",
+    "render_timeline",
+    "summarize_events",
+    "utilization_series",
+]

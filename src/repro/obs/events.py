@@ -1,0 +1,97 @@
+"""Typed event vocabulary of the observability layer.
+
+Every tracer backend receives the same flat event records: a ``kind`` from
+the fixed vocabulary below, the simulation time ``t`` the event was
+processed at, optionally the ``job`` it concerns, and kind-specific decision
+context (queue depth, free cores, reservation shadow time, ...).  The
+schema is documented field-by-field in ``docs/OBSERVABILITY.md``.
+
+Two bookkeeping kinds frame every stream: :data:`RUN_START` (capacity,
+job count, policy and backfill configuration) and :data:`RUN_END`
+(makespan, final counters).  The remaining kinds are the scheduler's and
+fault layer's decision log.
+
+Design note: events are plain dicts, not dataclasses — they exist to be
+serialized (JSONL) or buffered, and a dict literal is the cheapest thing
+the hot path can build when tracing is *enabled* while costing nothing
+when it is not (the engines skip emission entirely for a null tracer).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RUN_START",
+    "RUN_END",
+    "SUBMIT",
+    "START",
+    "FINISH",
+    "RESERVATION",
+    "BACKFILL",
+    "NODE_FAIL",
+    "NODE_REPAIR",
+    "RETRY",
+    "CHECKPOINT",
+    "EVENT_KINDS",
+    "CAPACITY_EVENTS",
+    "make_event",
+]
+
+#: run header: capacity, n_jobs, policy, backfill config
+RUN_START = "run_start"
+#: run footer: makespan, jobs started/finished
+RUN_END = "run_end"
+#: a job joined the wait queue (``submitted`` carries the true submit time;
+#: ``t`` is the instant the engine processed it, so streams stay monotone)
+SUBMIT = "submit"
+#: a job was allocated cores and began an attempt
+START = "start"
+#: an attempt released its cores (``outcome`` distinguishes completion,
+#: intrinsic failure and user kill; node kills release via NODE_FAIL)
+FINISH = "finish"
+#: the blocked queue head was promised a shadow time
+RESERVATION = "reservation"
+#: a job was selected to jump the blocked head (its START follows)
+BACKFILL = "backfill"
+#: a node went down, killing the jobs holding units on it
+NODE_FAIL = "node_fail"
+#: a failed node returned to service
+NODE_REPAIR = "node_repair"
+#: a killed/failed attempt was scheduled for resubmission after backoff
+RETRY = "retry"
+#: a node-killed job will resume from its last checkpoint
+CHECKPOINT = "checkpoint"
+
+#: the full vocabulary
+EVENT_KINDS = frozenset(
+    {
+        RUN_START,
+        RUN_END,
+        SUBMIT,
+        START,
+        FINISH,
+        RESERVATION,
+        BACKFILL,
+        NODE_FAIL,
+        NODE_REPAIR,
+        RETRY,
+        CHECKPOINT,
+    }
+)
+
+#: kinds that change the number of free cores; each carries a post-event
+#: ``free`` field so replays can audit core conservation exactly
+CAPACITY_EVENTS = frozenset({START, FINISH, NODE_FAIL, NODE_REPAIR})
+
+
+def make_event(kind: str, t: float, job: int = -1, **ctx) -> dict:
+    """Build one normalized event record.
+
+    ``job`` below zero means "not job-scoped" (run headers, node events)
+    and is omitted from the record.
+    """
+    event: dict = {"kind": kind, "t": float(t)}
+    if job >= 0:
+        event["job"] = int(job)
+    if ctx:
+        event.update(ctx)
+    return event

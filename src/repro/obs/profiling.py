@@ -1,0 +1,157 @@
+"""Lightweight wall-time profiling of engine hot paths.
+
+A :class:`Profiler` hands out :meth:`~Profiler.span` context managers built
+on :func:`time.perf_counter`; the engines wrap their hot paths (event
+drain, policy sort, backfill scan, profile rebuild) in named spans and the
+profiler accumulates per-name call counts and wall time.  The point is the
+**per-run breakdown report** — before making a hot path faster you need to
+know which one is hot, and every future perf PR benchmarks against these
+numbers.
+
+When no profiler is passed, the engines use :data:`NULL_PROFILER`, whose
+spans are a single shared no-op object — the disabled cost is one method
+call and an empty ``with`` block per span site.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER"]
+
+
+class _Span:
+    """One timed region; records into its profiler on exit."""
+
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._profiler._record(self._name, perf_counter() - self._t0)
+        return False
+
+
+class _NullSpan:
+    """Reusable no-op span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProfiler:
+    """Profiler stand-in whose spans measure nothing."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+
+#: shared disabled profiler used as the engines' default
+NULL_PROFILER = NullProfiler()
+
+
+class Profiler:
+    """Accumulates wall time per named span.
+
+    Spans with the same name aggregate; nesting works (each span times its
+    own region), but the shipped engine spans are non-overlapping leaves so
+    their shares add up to the fraction of the run that was profiled.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # name -> [calls, total_seconds]
+        self._stats: dict[str, list] = {}
+        self._created = perf_counter()
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one region under ``name``."""
+        return _Span(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        stat = self._stats.get(name)
+        if stat is None:
+            self._stats[name] = [1, elapsed]
+        else:
+            stat[0] += 1
+            stat[1] += elapsed
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall time since this profiler was created."""
+        return perf_counter() - self._created
+
+    @property
+    def profiled_seconds(self) -> float:
+        """Total time inside spans (across all names)."""
+        return sum(total for _count, total in self._stats.values())
+
+    def stats(self, name: str) -> tuple[int, float]:
+        """(calls, total_seconds) for one span name."""
+        count, total = self._stats[name]
+        return int(count), float(total)
+
+    def as_dict(self) -> dict:
+        """Structured breakdown, hottest span first."""
+        profiled = self.profiled_seconds
+        spans = {}
+        for name, (count, total) in sorted(
+            self._stats.items(), key=lambda kv: -kv[1][1]
+        ):
+            spans[name] = {
+                "calls": int(count),
+                "total_s": float(total),
+                "mean_us": 1e6 * total / count if count else 0.0,
+                "share": total / profiled if profiled > 0 else 0.0,
+            }
+        return {
+            "wall_s": self.wall_seconds,
+            "profiled_s": profiled,
+            "spans": spans,
+        }
+
+    def report(self) -> str:
+        """Human-readable per-span wall-time breakdown."""
+        from ..viz import render_table
+
+        snapshot = self.as_dict()
+        rows = [
+            [
+                name,
+                f"{stat['calls']:,}",
+                f"{stat['total_s'] * 1e3:.2f}",
+                f"{stat['mean_us']:.2f}",
+                f"{100.0 * stat['share']:.1f}%",
+            ]
+            for name, stat in snapshot["spans"].items()
+        ]
+        if not rows:
+            rows = [["(no spans recorded)", "-", "-", "-", "-"]]
+        table = render_table(
+            ["span", "calls", "total (ms)", "mean (us)", "share"],
+            rows,
+            title="hot-path wall-time breakdown",
+        )
+        return (
+            f"{table}\n"
+            f"profiled {snapshot['profiled_s'] * 1e3:.2f} ms of "
+            f"{snapshot['wall_s'] * 1e3:.2f} ms wall"
+        )

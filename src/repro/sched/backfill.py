@@ -49,6 +49,15 @@ class BackfillConfig:
     adaptive: bool = False
     max_queue_len: int | None = None
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (serialized into trace run headers)."""
+        return {
+            "enabled": self.enabled,
+            "relax_base": self.relax_base,
+            "adaptive": self.adaptive,
+            "max_queue_len": self.max_queue_len,
+        }
+
     def relax_fraction(self, queue_len: int, observed_max: int) -> float:
         """Effective relax fraction for the current queue state."""
         if self.relax_base <= 0.0:

@@ -8,6 +8,14 @@ the blocked head a reservation, and backfill around it per the configured
 
 The design follows the guides' advice for hot loops: struct-of-arrays job
 state, a lazily sorted running table, and no per-tick scanning.
+
+Observability (:mod:`repro.obs`) is wired through but strictly optional:
+``tracer`` receives the decision log (submit/start/finish/reservation/
+backfill events with queue depth, free cores and shadow times), ``metrics``
+collects counters/gauges/histograms plus a sim-time utilization series, and
+``profiler`` times the hot paths (event drain, policy sort, backfill scan).
+All three default to no-ops, and an instrumented run is bit-identical to an
+uninstrumented one — the sinks observe, they never decide.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import events as ev
+from ..obs.profiling import NULL_PROFILER
 from .backfill import BackfillConfig, EASY
 from .cluster import Cluster
 from .job import SimWorkload
@@ -62,6 +72,25 @@ class SimResult:
             return 0.0
         return float(self.backfilled.mean())
 
+    def to_dict(self) -> dict:
+        """Canonical run-summary dict (the one serialization of a run).
+
+        Shared by :mod:`repro.sched.export`, the CLI's ``--metrics-out``
+        payload and the experiment harness, so every surface describes a
+        run with the same keys.
+        """
+        w = self.workload
+        wait = self.wait
+        return {
+            "n_jobs": int(w.n),
+            "capacity": int(self.capacity),
+            "makespan_s": float(self.makespan),
+            "mean_wait_s": float(wait.mean()),
+            "median_wait_s": float(np.median(wait)),
+            "backfill_rate": float(self.backfill_rate),
+            "core_seconds": float((w.cores * w.runtime).sum()),
+        }
+
 
 def simulate(
     workload: SimWorkload,
@@ -71,6 +100,9 @@ def simulate(
     track_queue: bool = False,
     kill_at_walltime: bool = False,
     faults=None,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ):
     """Run the scheduler over a workload and return per-job start times.
 
@@ -97,6 +129,12 @@ def simulate(
         :func:`~repro.sched.faults.simulate_with_faults` and returns its
         :class:`~repro.sched.faults.FaultSimResult` (which reduces to
         this engine's behaviour for a null config).
+    tracer:
+        Optional :class:`~repro.obs.Tracer` receiving the decision log.
+    metrics:
+        Optional :class:`~repro.obs.Metrics` registry.
+    profiler:
+        Optional :class:`~repro.obs.Profiler` timing the hot paths.
     """
     if faults is not None:
         from .faults import simulate_with_faults
@@ -109,6 +147,9 @@ def simulate(
             faults,
             track_queue=track_queue,
             kill_at_walltime=kill_at_walltime,
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
         )
     if isinstance(policy, str):
         policy = get_policy(policy)
@@ -125,6 +166,20 @@ def simulate(
     walltime = workload.walltime
     runtime = workload.runtime
     users = workload.user
+
+    # observability sinks (all optional; hoisted to locals for the hot loop)
+    emit = tracer.emit if tracer is not None and tracer.enabled else None
+    prof = NULL_PROFILER if profiler is None else profiler
+    if metrics is not None:
+        g_free = metrics.gauge("sim_free_cores", "unallocated cores")
+        g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
+        g_util = metrics.gauge("sim_utilization", "allocated fraction of capacity")
+        c_submitted = metrics.counter("sim_jobs_submitted_total", "jobs entering the queue")
+        c_started = metrics.counter("sim_jobs_started_total", "job starts")
+        c_finished = metrics.counter("sim_jobs_finished_total", "job completions")
+        c_backfilled = metrics.counter("sim_jobs_backfilled_total", "starts that jumped a blocked head")
+        h_wait = metrics.histogram("sim_wait_seconds", "submission-to-start wait")
+        g_free.set(capacity)
 
     # fair-share support: decayed per-user core-second usage
     track_usage = getattr(policy, "half_life_hours", None) is not None
@@ -150,6 +205,17 @@ def simulate(
 
     INF = float("inf")
 
+    if emit is not None:
+        emit(
+            ev.RUN_START,
+            float(submit[0]),
+            capacity=int(capacity),
+            n_jobs=int(n),
+            policy=getattr(policy, "name", type(policy).__name__),
+            backfill=backfill.as_dict(),
+            engine="easy",
+        )
+
     def start_job(j: int, now: float) -> None:
         cluster.start(j, int(cores[j]), now + walltime[j])
         start[j] = now
@@ -157,6 +223,19 @@ def simulate(
         if track_usage:
             u = int(users[j])
             usage[u] = usage.get(u, 0.0) + float(cores[j]) * float(walltime[j])
+        if emit is not None:
+            emit(
+                ev.START,
+                now,
+                j,
+                cores=int(cores[j]),
+                free=int(cluster.free),
+                queue=len(pending),
+                wait=float(now - submit[j]),
+            )
+        if metrics is not None:
+            c_started.inc()
+            h_wait.observe(now - submit[j])
 
     def decay_usage(now: float) -> None:
         nonlocal usage_time
@@ -176,20 +255,21 @@ def simulate(
         if track_usage:
             decay_usage(now)
         while pending:
-            arr = np.asarray(pending)
-            if track_usage:
-                context = {
-                    "user": users[arr],
-                    "usage": np.array(
-                        [usage.get(int(u), 0.0) for u in users[arr]]
-                    ),
-                }
-            else:
-                context = {}
-            order = policy.order(
-                submit[arr], cores[arr], walltime[arr], now, **context
-            )
-            ranked = arr[order]
+            with prof.span("policy_sort"):
+                arr = np.asarray(pending)
+                if track_usage:
+                    context = {
+                        "user": users[arr],
+                        "usage": np.array(
+                            [usage.get(int(u), 0.0) for u in users[arr]]
+                        ),
+                    }
+                else:
+                    context = {}
+                order = policy.order(
+                    submit[arr], cores[arr], walltime[arr], now, **context
+                )
+                ranked = arr[order]
             head = int(ranked[0])
             if cluster.can_start(int(cores[head])):
                 start_job(head, now)
@@ -199,43 +279,97 @@ def simulate(
             shadow, extra = cluster.reservation(int(cores[head]), now)
             if np.isnan(promised[head]):
                 promised[head] = shadow
+            if emit is not None:
+                emit(
+                    ev.RESERVATION,
+                    now,
+                    head,
+                    shadow=float(shadow),
+                    extra=int(extra),
+                    queue=len(pending),
+                    free=int(cluster.free),
+                )
             if backfill.enabled:
-                frac = backfill.relax_fraction(len(pending), observed_max_q)
-                limit = shadow + frac * max(shadow - submit[head], 0.0)
-                started: list[int] = []
-                for j in ranked[1:]:
-                    j = int(j)
-                    c = int(cores[j])
-                    if c > cluster.free:
-                        continue
-                    fits_window = now + walltime[j] <= limit
-                    fits_extra = c <= extra
-                    if fits_window or fits_extra:
-                        start_job(j, now)
-                        backfilled[j] = True
-                        started.append(j)
-                        if not fits_window:
-                            extra -= c
-                        if cluster.free == 0:
-                            break
-                for j in started:
-                    pending.remove(j)
+                with prof.span("backfill_scan"):
+                    frac = backfill.relax_fraction(len(pending), observed_max_q)
+                    limit = shadow + frac * max(shadow - submit[head], 0.0)
+                    started: list[int] = []
+                    for j in ranked[1:]:
+                        j = int(j)
+                        c = int(cores[j])
+                        if c > cluster.free:
+                            continue
+                        fits_window = now + walltime[j] <= limit
+                        fits_extra = c <= extra
+                        if fits_window or fits_extra:
+                            if emit is not None:
+                                emit(
+                                    ev.BACKFILL,
+                                    now,
+                                    j,
+                                    cores=c,
+                                    fits_window=bool(fits_window),
+                                    fits_extra=bool(fits_extra),
+                                    shadow=float(shadow),
+                                    limit=float(limit),
+                                )
+                            if metrics is not None:
+                                c_backfilled.inc()
+                            start_job(j, now)
+                            backfilled[j] = True
+                            started.append(j)
+                            if not fits_window:
+                                extra -= c
+                            if cluster.free == 0:
+                                break
+                    for j in started:
+                        pending.remove(j)
             break
 
+    now = float(submit[0])
     while next_submit < n or finish_heap:
         t_sub = submit[next_submit] if next_submit < n else INF
         t_fin = finish_heap[0][0] if finish_heap else INF
         now = min(t_sub, t_fin)
-        while finish_heap and finish_heap[0][0] <= now:
-            _, j = heapq.heappop(finish_heap)
-            cluster.finish(j)
-        while next_submit < n and submit[next_submit] <= now:
-            pending.append(next_submit)
-            next_submit += 1
+        if metrics is not None:
+            metrics.sample(now)
+        with prof.span("event_drain"):
+            while finish_heap and finish_heap[0][0] <= now:
+                _, j = heapq.heappop(finish_heap)
+                cluster.finish(j)
+                if emit is not None:
+                    emit(
+                        ev.FINISH,
+                        now,
+                        j,
+                        cores=int(cores[j]),
+                        free=int(cluster.free),
+                        outcome="completed",
+                    )
+                if metrics is not None:
+                    c_finished.inc()
+            while next_submit < n and submit[next_submit] <= now:
+                pending.append(next_submit)
+                if emit is not None:
+                    emit(
+                        ev.SUBMIT,
+                        now,
+                        next_submit,
+                        submitted=float(submit[next_submit]),
+                        cores=int(cores[next_submit]),
+                        queue=len(pending),
+                    )
+                if metrics is not None:
+                    c_submitted.inc()
+                next_submit += 1
         schedule(now)
+        if metrics is not None:
+            g_free.set(cluster.free)
+            g_queue.set(len(pending))
+            g_util.set((capacity - cluster.free) / capacity)
 
     assert not pending and np.all(start >= 0), "scheduler left jobs unserved"
-    return SimResult(
+    result = SimResult(
         workload=workload,
         capacity=capacity,
         start=start,
@@ -244,3 +378,12 @@ def simulate(
         queue_samples=np.asarray(q_samples),
         queue_sample_times=np.asarray(q_times),
     )
+    if emit is not None:
+        emit(
+            ev.RUN_END,
+            now,
+            makespan=float(result.makespan),
+            started=int(n),
+            backfilled=int(backfilled.sum()),
+        )
+    return result

@@ -56,5 +56,9 @@ def result_to_trace(
     return Trace(
         system=system,
         jobs=Frame(columns),
-        meta={"source": "repro.sched simulation", "capacity": result.capacity},
+        meta={
+            "source": "repro.sched simulation",
+            "capacity": result.capacity,
+            "summary": result.to_dict(),
+        },
     )

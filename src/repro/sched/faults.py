@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import events as ev
+from ..obs.profiling import NULL_PROFILER
 from ..traces.schema import JobStatus, Trace
 from .backfill import BackfillConfig, EASY
 from .cluster import Cluster
@@ -449,6 +451,34 @@ class FaultSimResult:
         """
         return max(self.consumed_core_seconds - self.goodput_core_seconds, 0.0)
 
+    def to_dict(self) -> dict:
+        """Canonical run-summary dict (fault-aware superset of
+        :meth:`~repro.sched.engine.SimResult.to_dict`)."""
+        w = self.workload
+        return {
+            "n_jobs": int(w.n),
+            "capacity": int(self.capacity),
+            "makespan_s": float(self.makespan),
+            "mean_wait_s": float(self.wait.mean()),
+            "median_wait_s": float(np.median(self.wait)),
+            "backfill_rate": float(self.backfill_rate),
+            "core_seconds": float(self.consumed_core_seconds),
+            "completed_fraction": float(self.completed.mean()),
+            "mean_attempts": float(self.attempts.mean()),
+            "goodput_core_seconds": float(self.goodput_core_seconds),
+            "wasted_core_seconds": float(self.wasted_core_seconds),
+            "node_failures": int(len(self.node_fail_times)),
+        }
+
+
+#: attempt outcome code -> ``finish`` event ``outcome`` field
+_OUTCOME_LABELS = {
+    ATTEMPT_COMPLETED: "completed",
+    ATTEMPT_FAILED: "failed",
+    ATTEMPT_USER_KILLED: "user_killed",
+    ATTEMPT_NODE_KILLED: "node_killed",
+}
+
 
 def simulate_with_faults(
     workload: SimWorkload,
@@ -458,6 +488,9 @@ def simulate_with_faults(
     faults: FaultConfig = NO_FAULTS,
     track_queue: bool = False,
     kill_at_walltime: bool = False,
+    tracer=None,
+    metrics=None,
+    profiler=None,
 ) -> FaultSimResult:
     """Fault-aware twin of :func:`repro.sched.simulate`.
 
@@ -465,6 +498,12 @@ def simulate_with_faults(
     failures, intrinsic job faults, retries and checkpoint/restart driven
     by ``faults``.  With :data:`NO_FAULTS` the schedule is identical to
     the baseline engine's, event for event.
+
+    The optional ``tracer`` / ``metrics`` / ``profiler`` sinks mirror
+    :func:`repro.sched.simulate` and additionally receive the fault
+    layer's events: ``node_fail`` / ``node_repair``, per-attempt
+    ``finish`` outcomes, ``retry`` backoff decisions and ``checkpoint``
+    restores.
     """
     if isinstance(policy, str):
         policy = get_policy(policy)
@@ -488,6 +527,24 @@ def simulate_with_faults(
         if faults.has_node_faults
         else Cluster(capacity)
     )
+
+    # observability sinks (all optional; hoisted to locals for the hot loop)
+    emit = tracer.emit if tracer is not None and tracer.enabled else None
+    prof = NULL_PROFILER if profiler is None else profiler
+    if metrics is not None:
+        g_free = metrics.gauge("sim_free_cores", "unallocated cores")
+        g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
+        g_util = metrics.gauge("sim_utilization", "allocated fraction of capacity")
+        c_submitted = metrics.counter("sim_jobs_submitted_total", "jobs entering the queue")
+        c_started = metrics.counter("sim_jobs_started_total", "attempt starts")
+        c_finished = metrics.counter("sim_jobs_finished_total", "attempt terminations")
+        c_backfilled = metrics.counter("sim_jobs_backfilled_total", "starts that jumped a blocked head")
+        c_node_fail = metrics.counter("sim_node_failures_total", "node failures")
+        c_node_repair = metrics.counter("sim_node_repairs_total", "node repairs")
+        c_retries = metrics.counter("sim_retries_total", "attempt resubmissions")
+        h_wait = metrics.histogram("sim_wait_seconds", "submission-to-start wait")
+        h_attempt = metrics.histogram("sim_attempt_seconds", "attempt durations")
+        g_free.set(capacity)
 
     # fair-share support: decayed per-user core-second usage (mirrors engine)
     track_usage = getattr(policy, "half_life_hours", None) is not None
@@ -522,6 +579,29 @@ def simulate_with_faults(
         for node in range(cluster.n_nodes):  # type: ignore[attr-defined]
             push(t0 + rng.exponential(faults.node_mtbf), _P_FAIL, node)
 
+    if emit is not None:
+        emit(
+            ev.RUN_START,
+            float(submit[0]),
+            capacity=int(capacity),
+            n_jobs=int(n),
+            policy=getattr(policy, "name", type(policy).__name__),
+            backfill=backfill.as_dict(),
+            engine="easy+faults",
+            faults={
+                "node_mtbf": (
+                    faults.node_mtbf if math.isfinite(faults.node_mtbf) else None
+                ),
+                "node_mttr": faults.node_mttr,
+                "n_nodes": faults.n_nodes,
+                "fail_prob": faults.fail_prob,
+                "kill_prob": faults.kill_prob,
+                "max_attempts": faults.max_attempts,
+                "checkpoint_interval": faults.checkpoint_interval,
+                "seed": faults.seed,
+            },
+        )
+
     def start_job(j: int, now: float) -> None:
         cluster.start(j, int(cores[j]), now + walltime[j])
         dur, fate = state.begin(j, now)
@@ -529,6 +609,20 @@ def simulate_with_faults(
         if track_usage:
             u = int(users[j])
             usage[u] = usage.get(u, 0.0) + float(cores[j]) * float(walltime[j])
+        if emit is not None:
+            emit(
+                ev.START,
+                now,
+                j,
+                cores=int(cores[j]),
+                free=int(cluster.free),
+                queue=len(pending),
+                wait=float(now - submit[j]),
+                attempt=int(state.attempts[j]),
+            )
+        if metrics is not None:
+            c_started.inc()
+            h_wait.observe(now - submit[j])
 
     def decay_usage(now: float) -> None:
         nonlocal usage_time
@@ -548,20 +642,21 @@ def simulate_with_faults(
         if track_usage:
             decay_usage(now)
         while pending:
-            arr = np.asarray(pending)
-            if track_usage:
-                context = {
-                    "user": users[arr],
-                    "usage": np.array(
-                        [usage.get(int(u), 0.0) for u in users[arr]]
-                    ),
-                }
-            else:
-                context = {}
-            order = policy.order(
-                submit[arr], cores[arr], walltime[arr], now, **context
-            )
-            ranked = arr[order]
+            with prof.span("policy_sort"):
+                arr = np.asarray(pending)
+                if track_usage:
+                    context = {
+                        "user": users[arr],
+                        "usage": np.array(
+                            [usage.get(int(u), 0.0) for u in users[arr]]
+                        ),
+                    }
+                else:
+                    context = {}
+                order = policy.order(
+                    submit[arr], cores[arr], walltime[arr], now, **context
+                )
+                ranked = arr[order]
             head = int(ranked[0])
             if cluster.can_start(int(cores[head])):
                 start_job(head, now)
@@ -575,64 +670,204 @@ def simulate_with_faults(
                 break
             if np.isnan(promised[head]):
                 promised[head] = shadow
+            if emit is not None:
+                emit(
+                    ev.RESERVATION,
+                    now,
+                    head,
+                    shadow=float(shadow),
+                    extra=int(extra),
+                    queue=len(pending),
+                    free=int(cluster.free),
+                )
             if backfill.enabled:
-                frac = backfill.relax_fraction(len(pending), observed_max_q)
-                limit = shadow + frac * max(shadow - submit[head], 0.0)
-                started: list[int] = []
-                for j in ranked[1:]:
-                    j = int(j)
-                    c = int(cores[j])
-                    if c > cluster.free:
-                        continue
-                    fits_window = now + walltime[j] <= limit
-                    fits_extra = c <= extra
-                    if fits_window or fits_extra:
-                        start_job(j, now)
-                        backfilled[j] = True
-                        started.append(j)
-                        if not fits_window:
-                            extra -= c
-                        if cluster.free == 0:
-                            break
-                for j in started:
-                    pending.remove(j)
+                with prof.span("backfill_scan"):
+                    frac = backfill.relax_fraction(len(pending), observed_max_q)
+                    limit = shadow + frac * max(shadow - submit[head], 0.0)
+                    started: list[int] = []
+                    for j in ranked[1:]:
+                        j = int(j)
+                        c = int(cores[j])
+                        if c > cluster.free:
+                            continue
+                        fits_window = now + walltime[j] <= limit
+                        fits_extra = c <= extra
+                        if fits_window or fits_extra:
+                            if emit is not None:
+                                emit(
+                                    ev.BACKFILL,
+                                    now,
+                                    j,
+                                    cores=c,
+                                    fits_window=bool(fits_window),
+                                    fits_extra=bool(fits_extra),
+                                    shadow=float(shadow),
+                                    limit=float(limit),
+                                )
+                            if metrics is not None:
+                                c_backfilled.inc()
+                            start_job(j, now)
+                            backfilled[j] = True
+                            started.append(j)
+                            if not fits_window:
+                                extra -= c
+                            if cluster.free == 0:
+                                break
+                    for j in started:
+                        pending.remove(j)
             break
 
+    now = float(submit[0])
     while state.unfinished > 0:
         t_sub = submit[next_submit] if next_submit < n else _INF
         t_ev = events[0][0] if events else _INF
         now = min(t_sub, t_ev)
         assert now < _INF, "fault engine stalled with unfinished jobs"
-        while events and events[0][0] <= now:
-            t, prio, _s, payload = heapq.heappop(events)
-            if prio == _P_FINISH:
-                j, gen, fate = payload  # type: ignore[misc]
-                if not state.running[j] or state.generation[j] != gen:
-                    continue  # stale: the attempt was killed earlier
-                cluster.finish(j)
-                if state.close_attempt(j, t, fate):
-                    push(t + state.backoff(j), _P_RESUBMIT, j)
-            elif prio == _P_FAIL:
-                node = payload  # type: ignore[assignment]
-                victims = cluster.fail_node(node)  # type: ignore[attr-defined]
-                for j in victims:
-                    if state.node_kill(j, t):
-                        push(t + state.backoff(j), _P_RESUBMIT, j)
-                fail_t.append(t)
-                fail_n.append(int(node))
-                push(t + rng.exponential(faults.node_mttr), _P_REPAIR, node)
-            elif prio == _P_REPAIR:
-                cluster.repair_node(payload)  # type: ignore[attr-defined]
-                repair_t.append(t)
-                push(t + rng.exponential(faults.node_mtbf), _P_FAIL, payload)
-            else:  # _P_RESUBMIT
-                pending.append(payload)  # type: ignore[arg-type]
-        while next_submit < n and submit[next_submit] <= now:
-            pending.append(next_submit)
-            next_submit += 1
+        if metrics is not None:
+            metrics.sample(now)
+        with prof.span("event_drain"):
+            while events and events[0][0] <= now:
+                t, prio, _s, payload = heapq.heappop(events)
+                if prio == _P_FINISH:
+                    j, gen, fate = payload  # type: ignore[misc]
+                    if not state.running[j] or state.generation[j] != gen:
+                        continue  # stale: the attempt was killed earlier
+                    cluster.finish(j)
+                    elapsed = t - float(state.attempt_start[j])
+                    retry = state.close_attempt(j, t, fate)
+                    if emit is not None:
+                        emit(
+                            ev.FINISH,
+                            t,
+                            j,
+                            cores=int(cores[j]),
+                            free=int(cluster.free),
+                            outcome=_OUTCOME_LABELS[fate],
+                            attempt=int(state.attempts[j]),
+                            terminal=not retry,
+                        )
+                    if metrics is not None:
+                        c_finished.inc()
+                        h_attempt.observe(elapsed)
+                    if retry:
+                        delay = state.backoff(j)
+                        if emit is not None:
+                            emit(
+                                ev.RETRY,
+                                t,
+                                j,
+                                attempt=int(state.attempts[j]),
+                                delay=float(delay),
+                                resume=float(t + delay),
+                                cause="intrinsic_failure",
+                            )
+                        if metrics is not None:
+                            c_retries.inc()
+                        push(t + delay, _P_RESUBMIT, j)
+                elif prio == _P_FAIL:
+                    node = payload  # type: ignore[assignment]
+                    victims = cluster.fail_node(node)  # type: ignore[attr-defined]
+                    if emit is not None:
+                        emit(
+                            ev.NODE_FAIL,
+                            t,
+                            node=int(node),
+                            victims=[int(v) for v in victims],
+                            free=int(cluster.free),
+                        )
+                    if metrics is not None:
+                        c_node_fail.inc()
+                    ci = faults.checkpoint_interval
+                    for j in victims:
+                        elapsed = t - float(state.attempt_start[j])
+                        retry = state.node_kill(j, t)
+                        if metrics is not None:
+                            h_attempt.observe(elapsed)
+                        if not retry:
+                            continue
+                        delay = state.backoff(j)
+                        if emit is not None:
+                            if ci:
+                                saved = math.floor(elapsed / ci) * ci
+                                if saved > 0:
+                                    emit(
+                                        ev.CHECKPOINT,
+                                        t,
+                                        j,
+                                        saved=float(saved),
+                                        lost=float(elapsed - saved),
+                                    )
+                            emit(
+                                ev.RETRY,
+                                t,
+                                j,
+                                attempt=int(state.attempts[j]),
+                                delay=float(delay),
+                                resume=float(t + delay),
+                                cause="node_failure",
+                            )
+                        if metrics is not None:
+                            c_retries.inc()
+                        push(t + delay, _P_RESUBMIT, j)
+                    fail_t.append(t)
+                    fail_n.append(int(node))
+                    push(t + rng.exponential(faults.node_mttr), _P_REPAIR, node)
+                elif prio == _P_REPAIR:
+                    cluster.repair_node(payload)  # type: ignore[attr-defined]
+                    repair_t.append(t)
+                    if emit is not None:
+                        emit(
+                            ev.NODE_REPAIR,
+                            t,
+                            node=int(payload),
+                            free=int(cluster.free),
+                        )
+                    if metrics is not None:
+                        c_node_repair.inc()
+                    push(t + rng.exponential(faults.node_mtbf), _P_FAIL, payload)
+                else:  # _P_RESUBMIT
+                    pending.append(payload)  # type: ignore[arg-type]
+                    if emit is not None:
+                        emit(
+                            ev.SUBMIT,
+                            t,
+                            payload,
+                            submitted=float(t),
+                            cores=int(cores[payload]),
+                            queue=len(pending),
+                            resubmitted=True,
+                        )
+                    if metrics is not None:
+                        c_submitted.inc()
+            while next_submit < n and submit[next_submit] <= now:
+                pending.append(next_submit)
+                if emit is not None:
+                    emit(
+                        ev.SUBMIT,
+                        now,
+                        next_submit,
+                        submitted=float(submit[next_submit]),
+                        cores=int(cores[next_submit]),
+                        queue=len(pending),
+                    )
+                if metrics is not None:
+                    c_submitted.inc()
+                next_submit += 1
         schedule(now)
+        if metrics is not None:
+            g_free.set(cluster.free)
+            g_queue.set(len(pending))
+            g_util.set((capacity - cluster.free) / capacity)
 
     assert not pending and np.all(state.status >= 0), "jobs left non-terminal"
+    if emit is not None:
+        emit(
+            ev.RUN_END,
+            now,
+            makespan=float(state.end.max() - submit.min()),
+            completed=int((state.status == int(JobStatus.PASSED)).sum()),
+            node_failures=len(fail_t),
+        )
     return FaultSimResult(
         workload=workload,
         capacity=capacity,

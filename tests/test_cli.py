@@ -1,5 +1,6 @@
 """Tests for the top-level CLI and the markdown report generator."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -78,6 +79,96 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliObservability:
+    def test_trace_out_creates_nested_dirs(self, swf_path, tmp_path, capsys):
+        out = tmp_path / "deeply" / "nested" / "events.jsonl"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "100",
+                "--trace-out", str(out),
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert {"run_start", "submit", "start", "finish", "run_end"} <= kinds
+
+    def test_metrics_out_json(self, swf_path, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "100",
+                "--metrics-out", str(out),
+                "--metrics-interval", "1800",
+            ]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["n_jobs"] == 100
+        assert payload["metrics"]["counters"]["sim_jobs_started_total"] == 100
+        assert payload["metrics"]["series"]["interval"] == 1800.0
+
+    def test_metrics_out_prometheus(self, swf_path, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "100",
+                "--metrics-out", str(out),
+            ]
+        ) == 0
+        text = out.read_text()
+        assert "# TYPE sim_jobs_started_total counter" in text
+        assert 'sim_wait_seconds_bucket{le="+Inf"}' in text
+
+    def test_profile_prints_breakdown(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "100", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hot-path wall-time breakdown" in out
+        assert "policy_sort" in out
+
+    def test_traced_fault_run(self, swf_path, tmp_path):
+        out = tmp_path / "fault-events.jsonl"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "150",
+                "--mtbf-hours", "6",
+                "--retries", "2",
+                "--trace-out", str(out),
+            ]
+        ) == 0
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {e["kind"] for e in events}
+        assert "node_fail" in kinds
+
+    def test_trace_out_parent_is_file(self, swf_path, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "50",
+                "--trace-out", str(blocker / "events.jsonl"),
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "not a directory" in err
+
+    def test_metrics_out_is_directory(self, swf_path, tmp_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "50",
+                "--metrics-out", str(tmp_path),
+            ]
+        ) == 2
+        assert "it is a directory" in capsys.readouterr().err
 
 
 class TestReport:

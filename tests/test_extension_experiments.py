@@ -136,6 +136,41 @@ class TestResilienceExtension:
         assert "retry+ckpt" in text
 
 
+class TestObservabilityExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "ext_observability", days=DAYS, seed=SEED, max_jobs=800
+        )
+
+    def test_audit_is_clean(self, result):
+        assert result.data["violations"] == []
+        assert result.data["dropped"] == 0
+
+    def test_event_counts_consistent(self, result):
+        counts = result.data["event_counts"]
+        assert counts["run_start"] == 1 and counts["run_end"] == 1
+        # every start is a submitted attempt; retries re-submit
+        assert counts["start"] == counts["submit"]
+        assert counts["start"] >= result.data["summary"]["n_jobs"]
+
+    def test_profile_covers_hot_paths(self, result):
+        spans = result.data["profile"]["spans"]
+        assert {"event_drain", "policy_sort"} <= set(spans)
+        assert all(s["calls"] > 0 for s in spans.values())
+
+    def test_metrics_counters_match_events(self, result):
+        counters = result.data["metrics"]["counters"]
+        counts = result.data["event_counts"]
+        assert counters["sim_jobs_started_total"] == counts["start"]
+        assert result.data["metrics"]["series_samples"] > 0
+
+    def test_render_shows_timeline_and_audit(self, result):
+        text = result.render()
+        assert "schedule timeline" in text
+        assert "0 violation(s)" in text
+
+
 class TestSaving:
     def test_save_roundtrip(self, tmp_path):
         result = run_experiment("table1")
