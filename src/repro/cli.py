@@ -5,7 +5,8 @@ Subcommands::
     repro generate  <system> -o trace.swf [--days D] [--seed S]
     repro validate  <trace.swf>
     repro analyze   <trace.swf> [--report out.md]
-    repro simulate  <trace.swf> [--policy P] [--backfill MODE] [--relax F]
+    repro simulate  <trace.swf> [--policy P[,P2,...]] [--backfill MODE]
+                    [--relax F] [--jobs N] [--cache-dir DIR] [--no-cache]
                     [--mtbf-hours H] [--retries N] [--inject-status]
                     [--trace-out events.jsonl] [--metrics-out m.json|m.prom]
                     [--profile] ...
@@ -171,17 +172,44 @@ def _finish_obs(args: argparse.Namespace, result, tracer, metrics, profiler) -> 
         print(profiler.report())
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = read_swf(args.trace)
-    workload = workload_from_trace(trace)
-    if args.max_jobs:
-        workload = workload.slice(args.max_jobs)
-    backfill = _BACKFILLS[args.backfill](args)
-    try:
-        faults = _fault_config(args, trace)
-    except ValueError as exc:
-        print(f"invalid fault configuration: {exc}", file=sys.stderr)
-        return 2
+def _print_fault_table(title: str, n_jobs: int, rm) -> None:
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["jobs", str(n_jobs)],
+                ["goodput (core-h)", f"{rm.goodput_core_hours:,.0f}"],
+                ["wasted (core-h)", f"{rm.wasted_core_hours:,.0f}"],
+                ["effective util", f"{rm.effective_util:.4f}"],
+                ["completed", f"{rm.completed_fraction:.2%}"],
+                ["failed", f"{rm.failed_fraction:.2%}"],
+                ["killed", f"{rm.killed_fraction:.2%}"],
+                ["mean attempts", f"{rm.mean_attempts:.2f}"],
+                ["avg wait", seconds(rm.mean_wait)],
+            ],
+            title=title,
+        )
+    )
+
+
+def _print_metrics_table(title: str, n_jobs: int, metrics) -> None:
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["jobs", str(n_jobs)],
+                ["avg wait", seconds(metrics.wait)],
+                ["bounded slowdown", f"{metrics.bsld:.2f}"],
+                ["utilization", f"{metrics.util:.4f}"],
+                ["violation", seconds(metrics.violation)],
+            ],
+            title=title,
+        )
+    )
+
+
+def _simulate_direct(args: argparse.Namespace, trace, workload, policy, backfill, faults) -> int:
+    """In-process run wired to the observability sinks (legacy path)."""
     try:
         tracer, obs_metrics, profiler = _obs_sinks(args)
     except ValueError as exc:
@@ -190,7 +218,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = simulate(
         workload,
         trace.system.schedulable_units,
-        args.policy,
+        policy,
         backfill,
         faults=faults,
         tracer=tracer,
@@ -200,44 +228,137 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         from .sched import compute_resilience_metrics
 
-        rm = compute_resilience_metrics(result)
-        print(
-            render_table(
-                ["metric", "value"],
-                [
-                    ["jobs", str(workload.n)],
-                    ["goodput (core-h)", f"{rm.goodput_core_hours:,.0f}"],
-                    ["wasted (core-h)", f"{rm.wasted_core_hours:,.0f}"],
-                    ["effective util", f"{rm.effective_util:.4f}"],
-                    ["completed", f"{rm.completed_fraction:.2%}"],
-                    ["failed", f"{rm.failed_fraction:.2%}"],
-                    ["killed", f"{rm.killed_fraction:.2%}"],
-                    ["mean attempts", f"{rm.mean_attempts:.2f}"],
-                    ["avg wait", seconds(rm.mean_wait)],
-                ],
-                title=(
-                    f"{trace.system.name}: {args.policy} + {args.backfill} "
-                    "(with faults)"
-                ),
-            )
+        _print_fault_table(
+            f"{trace.system.name}: {policy} + {args.backfill} (with faults)",
+            workload.n,
+            compute_resilience_metrics(result),
         )
     else:
-        metrics = compute_metrics(result)
-        print(
-            render_table(
-                ["metric", "value"],
-                [
-                    ["jobs", str(workload.n)],
-                    ["avg wait", seconds(metrics.wait)],
-                    ["bounded slowdown", f"{metrics.bsld:.2f}"],
-                    ["utilization", f"{metrics.util:.4f}"],
-                    ["violation", seconds(metrics.violation)],
-                ],
-                title=f"{trace.system.name}: {args.policy} + {args.backfill}",
-            )
+        _print_metrics_table(
+            f"{trace.system.name}: {policy} + {args.backfill}",
+            workload.n,
+            compute_metrics(result),
         )
     _finish_obs(args, result, tracer, obs_metrics, profiler)
     return 0
+
+
+def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfill, faults) -> int:
+    """Run one or more policies through the parallel sweep runner."""
+    from .runner import ResultCache, SimTask, run_sweep
+
+    cache = None
+    if args.cache_dir is not None and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    tasks = [
+        SimTask(
+            label=policy,
+            workload=workload,
+            policy=policy,
+            backfill=backfill,
+            faults=faults,
+            capacity=trace.system.schedulable_units,
+        )
+        for policy in policies
+    ]
+    results = run_sweep(tasks, jobs=args.jobs, cache=cache)
+    if len(results) == 1:
+        cell = results[0]
+        if faults is not None:
+            _print_fault_table(
+                f"{trace.system.name}: {policies[0]} + {args.backfill} "
+                "(with faults)",
+                workload.n,
+                cell.resilience_metrics(),
+            )
+        else:
+            _print_metrics_table(
+                f"{trace.system.name}: {policies[0]} + {args.backfill}",
+                workload.n,
+                cell.schedule_metrics(),
+            )
+    elif faults is not None:
+        rows = [
+            [
+                cell.label,
+                f"{rm.goodput_core_hours:,.0f}",
+                f"{rm.wasted_core_hours:,.0f}",
+                f"{rm.effective_util:.4f}",
+                f"{rm.completed_fraction:.2%}",
+                seconds(rm.mean_wait),
+            ]
+            for cell in results
+            for rm in [cell.resilience_metrics()]
+        ]
+        print(
+            render_table(
+                ["policy", "goodput (core-h)", "wasted (core-h)",
+                 "eff util", "completed", "avg wait"],
+                rows,
+                title=f"{trace.system.name} ({workload.n} jobs): policy sweep "
+                f"+ {args.backfill} (with faults)",
+            )
+        )
+    else:
+        rows = [
+            [
+                cell.label,
+                seconds(m.wait),
+                f"{m.bsld:.2f}",
+                f"{m.util:.4f}",
+                seconds(m.violation),
+            ]
+            for cell in results
+            for m in [cell.schedule_metrics()]
+        ]
+        print(
+            render_table(
+                ["policy", "avg wait", "bounded slowdown", "utilization",
+                 "violation"],
+                rows,
+                title=f"{trace.system.name} ({workload.n} jobs): policy sweep "
+                f"+ {args.backfill}",
+            )
+        )
+    if cache is not None:
+        print(
+            f"(cache {args.cache_dir}: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es))"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = read_swf(args.trace)
+    workload = workload_from_trace(trace)
+    if args.max_jobs:
+        workload = workload.slice(args.max_jobs)
+    backfill = _BACKFILLS[args.backfill](args)
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    if not policies:
+        print("--policy needs at least one policy name", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        faults = _fault_config(args, trace)
+    except ValueError as exc:
+        print(f"invalid fault configuration: {exc}", file=sys.stderr)
+        return 2
+    wants_obs = bool(args.trace_out or args.metrics_out or args.profile)
+    if wants_obs:
+        if len(policies) > 1:
+            print(
+                "--trace-out/--metrics-out/--profile record a single run; "
+                "pass one --policy or drop the observability flags",
+                file=sys.stderr,
+            )
+            return 2
+        # observability sinks need in-process hooks, so this run bypasses
+        # the parallel runner (and its cache) entirely
+        return _simulate_direct(args, trace, workload, policies[0], backfill, faults)
+    return _simulate_sweep(args, trace, workload, policies, backfill, faults)
 
 
 def _cmd_clone(args: argparse.Namespace) -> int:
@@ -291,12 +412,38 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("simulate", help="schedule an SWF trace")
     p.add_argument("trace", type=Path)
-    p.add_argument("--policy", default="fcfs")
+    p.add_argument(
+        "--policy",
+        default="fcfs",
+        help="queue policy, or a comma-separated list (e.g. fcfs,sjf,f1) "
+        "to sweep several policies over the same workload",
+    )
     p.add_argument(
         "--backfill", choices=sorted(_BACKFILLS), default="easy"
     )
     p.add_argument("--relax", type=float, default=0.1)
     p.add_argument("--max-jobs", type=int, default=0)
+    runner = p.add_argument_group("parallel runner (docs/PARALLELISM.md)")
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for multi-policy sweeps (results are "
+        "bit-identical at any worker count)",
+    )
+    runner.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk result cache; entries live at "
+        "<cache-dir>/<2-hex-prefix>/<sha256-fingerprint>.json and are "
+        "invalidated automatically when engine code changes",
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir: recompute every run",
+    )
     fault = p.add_argument_group("fault injection (docs/RESILIENCE.md)")
     fault.add_argument(
         "--mtbf-hours",

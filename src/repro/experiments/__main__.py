@@ -6,6 +6,7 @@ import argparse
 import inspect
 import sys
 import time
+from pathlib import Path
 
 from . import REGISTRY, run_experiment
 from .common import DEFAULT_DAYS, DEFAULT_SEED
@@ -45,7 +46,29 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write <exp>.txt and <exp>.json into DIR",
     )
+    runner = parser.add_argument_group("parallel runner (docs/PARALLELISM.md)")
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-style experiments (results are "
+        "bit-identical at any worker count)",
+    )
+    runner.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk result cache for sweep cells "
+        "(layout: <dir>/<2-hex>/<fingerprint>.json)",
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir: recompute every cell",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "list":
         for key, (_, desc) in REGISTRY.items():
@@ -53,17 +76,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    cache_dir = None if args.no_cache else args.cache_dir
     for exp_id in ids:
         t0 = time.time()
         try:
             kwargs = {"days": args.days, "seed": args.seed}
             entry = REGISTRY.get(exp_id)
-            if (
-                args.max_jobs > 0
-                and entry is not None
-                and "max_jobs" in inspect.signature(entry[0].run).parameters
-            ):
+            params = (
+                inspect.signature(entry[0].run).parameters if entry else {}
+            )
+            if args.max_jobs > 0 and "max_jobs" in params:
                 kwargs["max_jobs"] = args.max_jobs
+            if args.jobs > 1 and "jobs" in params:
+                kwargs["jobs"] = args.jobs
+            if cache_dir is not None and "cache_dir" in params:
+                kwargs["cache_dir"] = cache_dir
             result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)

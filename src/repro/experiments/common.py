@@ -4,13 +4,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
 
 from ..traces.schema import Trace
-from ..traces.synth import generate_all_traces
+from ..traces.synth import cached_traces
 
 __all__ = ["ExperimentResult", "get_traces", "DEFAULT_DAYS", "DEFAULT_SEED"]
 
@@ -75,13 +74,8 @@ class ExperimentResult:
         return txt, js
 
 
-@lru_cache(maxsize=4)
-def _cached_traces(days: float, seed: int) -> dict[str, Trace]:
-    return generate_all_traces(days=days, seed=seed)
-
-
 def get_traces(
     days: float = DEFAULT_DAYS, seed: int = DEFAULT_SEED
 ) -> dict[str, Trace]:
     """Per-system traces shared across experiments (cached per process)."""
-    return _cached_traces(days, seed)
+    return cached_traces(days, seed)

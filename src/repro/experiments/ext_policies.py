@@ -4,13 +4,19 @@ The standard scheduler-paper grid: every queue-ordering policy crossed with
 the three HPC/hybrid workloads under EASY backfilling, reporting wait,
 bounded slowdown, utilization and the backfill rate — context for where
 the paper's FCFS-based use case 2 sits in the policy space.
+
+The policy × system grid runs through :func:`repro.runner.run_sweep`;
+pass ``jobs`` / ``cache_dir`` to parallelize and memoize the cells.
 """
 
 from __future__ import annotations
 
-from ..sched import EASY, POLICIES, compute_metrics, simulate, workload_from_trace
+from pathlib import Path
+
+from ..runner import SimTask, WorkloadSpec, run_sweep
+from ..sched import EASY
 from ..viz import percent, render_table, seconds
-from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
+from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult
 
 __all__ = ["run"]
 
@@ -22,41 +28,56 @@ def run(
     seed: int = DEFAULT_SEED,
     policies: tuple[str, ...] = ("fcfs", "sjf", "wfp3", "unicef", "f1", "fairshare"),
     max_jobs: int = 6000,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> ExperimentResult:
     """Policy x system grid under EASY backfilling."""
-    traces = get_traces(days, seed)
+    tasks = [
+        SimTask(
+            label=f"{system}/{policy}",
+            workload=WorkloadSpec(
+                system=system, days=days, seed=seed, max_jobs=max_jobs
+            ),
+            policy=policy,
+            backfill=EASY,
+        )
+        for system in SYSTEMS
+        for policy in policies
+    ]
+    sweep = {r.label: r for r in run_sweep(tasks, jobs=jobs, cache=cache_dir)}
+
     result = ExperimentResult(
         exp_id="ext_policies",
         title="Extension: queue-policy comparison under EASY backfilling",
     )
     data = {}
     for system in SYSTEMS:
-        trace = traces[system]
-        workload = workload_from_trace(trace).slice(max_jobs)
-        capacity = trace.system.schedulable_units
         rows = []
         data[system] = {}
+        n_jobs = 0
         for policy in policies:
-            res = simulate(workload, capacity, policy, EASY)
-            metrics = compute_metrics(res)
+            cell = sweep[f"{system}/{policy}"]
+            metrics = cell.schedule_metrics()
+            backfill_rate = cell.summary["backfill_rate"]
+            n_jobs = metrics.n_jobs
             rows.append(
                 [
                     policy,
                     seconds(metrics.wait),
                     f"{metrics.bsld:.2f}",
                     f"{metrics.util:.3f}",
-                    percent(res.backfill_rate),
+                    percent(backfill_rate),
                 ]
             )
             data[system][policy] = {
                 **metrics.as_dict(),
-                "backfill_rate": res.backfill_rate,
+                "backfill_rate": backfill_rate,
             }
         result.add(
             render_table(
                 ["policy", "avg wait", "bsld", "util", "backfilled"],
                 rows,
-                title=f"{system} ({workload.n} jobs)",
+                title=f"{system} ({n_jobs} jobs)",
             )
         )
     result.data = data

@@ -11,25 +11,30 @@ modes (EASY / relaxed / adaptive-relaxed).
 Reported per cell: goodput vs wasted core-hours, effective utilization,
 completed fraction and mean wait — answering "does the paper's
 adaptive-relaxed advantage survive when the machine breaks?".
+
+The 3×3×3 grid is embarrassingly parallel, so the cells run through
+:func:`repro.runner.run_sweep`: pass ``jobs`` to fan out over workers and
+``cache_dir`` to reuse previously computed cells across invocations
+(``python -m repro.experiments ext_resilience --jobs 4 --cache-dir ...``).
 """
 
 from __future__ import annotations
 
 import math
+from pathlib import Path
 
+from ..runner import SimTask, WorkloadSpec, run_sweep
 from ..sched import (
     EASY,
     FaultConfig,
     adaptive_relaxed,
-    compute_resilience_metrics,
     relaxed,
-    simulate_with_faults,
     workload_from_trace,
 )
 from ..viz import percent, render_table, seconds
 from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult, get_traces
 
-__all__ = ["run"]
+__all__ = ["run", "build_sweep"]
 
 HOUR = 3600.0
 DAY = 86400.0
@@ -49,7 +54,7 @@ RESILIENCE_POLICIES: tuple[tuple[str, int, float | None], ...] = (
 )
 
 
-def run(
+def build_sweep(
     days: float = DEFAULT_DAYS,
     seed: int = DEFAULT_SEED,
     system: str = "theta",
@@ -57,28 +62,25 @@ def run(
     n_nodes: int = 16,
     mttr_hours: float = 2.0,
     relax: float = 0.1,
-) -> ExperimentResult:
-    """Failure-rate x resilience-policy x backfill-mode sweep."""
-    traces = get_traces(days, seed)
-    trace = traces[system]
-    workload = workload_from_trace(trace).slice(max_jobs)
-    capacity = trace.system.schedulable_units
+) -> list[SimTask]:
+    """The failure × resilience-policy × backfill-mode task grid.
+
+    Exposed separately so benchmarks and the CI smoke test can run the
+    exact experiment sweep through :func:`repro.runner.run_sweep` at any
+    worker count.  Cell labels are ``"<failure>/<resilience>/<backfill>"``.
+    """
+    spec = WorkloadSpec(system=system, days=days, seed=seed, max_jobs=max_jobs)
+    # the intrinsic mix is calibrated from the workload's recorded statuses;
+    # materializing here hits the shared process-wide trace cache
+    workload, _capacity = spec.materialize()
     backfills = (
         ("easy", EASY),
         ("relaxed", relaxed(relax)),
         ("adaptive", adaptive_relaxed(relax)),
     )
-
-    result = ExperimentResult(
-        exp_id="ext_resilience",
-        title="Extension: backfilling resilience under fault injection",
-    )
-    data: dict = {}
+    tasks = []
     for flevel, mtbf in FAILURE_LEVELS:
-        rows = []
-        data[flevel] = {}
         for rname, attempts, ckpt in RESILIENCE_POLICIES:
-            data[flevel][rname] = {}
             for bname, backfill in backfills:
                 cfg = FaultConfig.from_workload(
                     workload,
@@ -90,10 +92,58 @@ def run(
                     checkpoint_interval=ckpt,
                     seed=seed,
                 )
-                res = simulate_with_faults(
-                    workload, capacity, "fcfs", backfill, cfg
+                tasks.append(
+                    SimTask(
+                        label=f"{flevel}/{rname}/{bname}",
+                        workload=spec,
+                        policy="fcfs",
+                        backfill=backfill,
+                        faults=cfg,
+                    )
                 )
-                rm = compute_resilience_metrics(res)
+    return tasks
+
+
+def run(
+    days: float = DEFAULT_DAYS,
+    seed: int = DEFAULT_SEED,
+    system: str = "theta",
+    max_jobs: int = 2500,
+    n_nodes: int = 16,
+    mttr_hours: float = 2.0,
+    relax: float = 0.1,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> ExperimentResult:
+    """Failure-rate x resilience-policy x backfill-mode sweep."""
+    trace = get_traces(days, seed)[system]
+    workload = workload_from_trace(trace).slice(max_jobs)
+    tasks = build_sweep(
+        days=days,
+        seed=seed,
+        system=system,
+        max_jobs=max_jobs,
+        n_nodes=n_nodes,
+        mttr_hours=mttr_hours,
+        relax=relax,
+    )
+    sweep = {
+        r.label: r for r in run_sweep(tasks, jobs=jobs, cache=cache_dir)
+    }
+
+    result = ExperimentResult(
+        exp_id="ext_resilience",
+        title="Extension: backfilling resilience under fault injection",
+    )
+    data: dict = {}
+    backfill_names = ("easy", "relaxed", "adaptive")
+    for flevel, mtbf in FAILURE_LEVELS:
+        rows = []
+        data[flevel] = {}
+        for rname, _attempts, _ckpt in RESILIENCE_POLICIES:
+            data[flevel][rname] = {}
+            for bname in backfill_names:
+                rm = sweep[f"{flevel}/{rname}/{bname}"].resilience_metrics()
                 rows.append(
                     [
                         rname,

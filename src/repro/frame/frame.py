@@ -242,8 +242,18 @@ class Frame:
         return GroupBy(self, list(keys))
 
     def quantile(self, name: str, q: float | Sequence[float]) -> np.ndarray | float:
-        """Quantile(s) of a numeric column (linear interpolation)."""
-        result = np.quantile(self[name], q)
+        """Quantile(s) of a numeric column (linear interpolation).
+
+        Raises
+        ------
+        ValueError
+            If the column is empty — NumPy's bare ``IndexError`` on empty
+            input names neither the column nor the operation.
+        """
+        values = self[name]
+        if len(values) == 0:
+            raise ValueError(f"cannot compute quantiles of empty column {name!r}")
+        result = np.quantile(values, q)
         return result
 
     def value_counts(self, name: str) -> "Frame":

@@ -56,7 +56,9 @@ def share(weights: np.ndarray, labels: np.ndarray, order: list) -> np.ndarray:
     """Fraction of total ``weights`` held by each label in ``order``.
 
     Used for core-hour domination (Fig 2) and status core-hour shares
-    (Fig 6).  Labels absent from the data contribute zero.
+    (Fig 6).  Labels absent from the data contribute zero.  Empty or
+    all-zero ``weights`` yield an all-zero vector rather than an error —
+    a system with no jobs dominates nothing.
     """
     weights = np.asarray(weights, dtype=float)
     labels = np.asarray(labels)
@@ -105,7 +107,9 @@ def violin_summary(values: np.ndarray, log_density: bool = True) -> ViolinSummar
 
     The mode is estimated from a histogram in log-space when
     ``log_density`` is set (appropriate for runtimes spanning decades,
-    as in the paper's Fig 1a / Fig 11).
+    as in the paper's Fig 1a / Fig 11).  Empty input yields a
+    ``count == 0`` summary with NaN statistics rather than an error, so
+    per-group summaries of sparse traces stay renderable.
     """
     values = np.asarray(values, dtype=float)
     if values.size == 0:

@@ -1,0 +1,41 @@
+"""Parallel sweep runner with an on-disk result cache.
+
+The experiment campaigns (failure × policy × backfill grids, policy
+comparison grids, Table II) are embarrassingly parallel: every cell is an
+independent, deterministic simulation.  This package executes such sweeps
+over ``multiprocessing`` workers with **bit-identical results at any
+worker count**, and memoizes each cell in a content-addressed on-disk
+cache so re-runs only recompute what changed (workload, seed, cluster,
+policy, backfill, fault config, or the engine code itself).
+
+See ``docs/PARALLELISM.md`` for the API, the cache-key contract, and the
+determinism guarantee.
+"""
+
+from .cache import ResultCache, code_version, stable_hash
+from .sweep import (
+    SimTask,
+    SweepSpec,
+    TaskResult,
+    WorkloadSpec,
+    default_jobs,
+    derive_seed,
+    parallel_map,
+    run_sweep,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "ResultCache",
+    "code_version",
+    "stable_hash",
+    "SimTask",
+    "SweepSpec",
+    "TaskResult",
+    "WorkloadSpec",
+    "default_jobs",
+    "derive_seed",
+    "parallel_map",
+    "run_sweep",
+    "workload_fingerprint",
+]

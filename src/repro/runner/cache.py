@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A cached entry is keyed by a *fingerprint*: the SHA-256 of a canonical JSON
+rendering of everything that determines a simulation's outcome —
+
+* the workload (synthetic generation spec, or a hash of the concrete job
+  arrays for trace-file workloads);
+* the cluster capacity;
+* the queue policy, backfill configuration and fault configuration;
+* engine options (``kill_at_walltime``, ``track_queue``);
+* a **code version**: a hash over the source bytes of every module that
+  can change simulation results (``repro.sched``, ``repro.traces`` and
+  ``repro.frame``).  Editing any of those files invalidates every cached
+  entry — stale results are impossible, at the cost of a cold cache after
+  engine changes.
+
+On-disk layout (documented in ``docs/PARALLELISM.md`` and the CLI help)::
+
+    <cache_dir>/
+        <2-hex-prefix>/<full-40..64-hex-fingerprint>.json
+
+Entries are plain JSON task results, written atomically (tmp file +
+``os.replace``) so concurrent workers and concurrent sweep processes can
+share one cache directory without locking: the worst case is two workers
+computing the same cell and one overwrite winning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+__all__ = ["ResultCache", "code_version", "stable_hash"]
+
+#: bump manually on semantic changes that source hashing cannot see
+#: (e.g. a NumPy version pin changing RNG streams)
+CACHE_FORMAT = 1
+
+
+def stable_hash(obj) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``obj``.
+
+    ``obj`` must be JSON-serializable; keys are sorted so dict ordering
+    never leaks into the digest.
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _iter_package_sources(package) -> list[Path]:
+    roots = [Path(p) for p in package.__path__]
+    files: list[Path] = []
+    for root in roots:
+        files.extend(root.rglob("*.py"))
+    return sorted(set(files))
+
+
+def code_version() -> str:
+    """Hash of the source files that determine simulation results.
+
+    Cached after the first call; computing it reads every ``.py`` file of
+    :mod:`repro.sched`, :mod:`repro.traces` and :mod:`repro.frame` once
+    (sub-millisecond on warm filesystems).
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        from .. import frame, sched, traces
+
+        h = hashlib.sha256()
+        h.update(f"format:{CACHE_FORMAT}".encode())
+        for pkg in (sched, traces, frame):
+            for path in _iter_package_sources(pkg):
+                h.update(path.name.encode())
+                h.update(path.read_bytes())
+        _CODE_VERSION = h.hexdigest()
+    return _CODE_VERSION
+
+
+_CODE_VERSION: str | None = None
+
+
+class ResultCache:
+    """Fingerprint-addressed JSON store under one directory.
+
+    Misses return ``None``; corrupt or truncated entries are treated as
+    misses and overwritten on the next :meth:`put` — the cache is always
+    safe to delete wholesale.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict | None:
+        """Stored payload for ``fingerprint``, or ``None``."""
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        """Atomically store ``payload`` under ``fingerprint``."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -1,0 +1,365 @@
+"""Parallel experiment executor with deterministic, cacheable results.
+
+A *sweep* is a list of independent simulation cells (:class:`SimTask`), each
+fully described by pure data: a workload source, a capacity, a policy name,
+a backfill configuration and an optional fault configuration.  Because every
+cell is self-contained and the simulator is deterministic in its inputs,
+:func:`run_sweep` can fan cells out over ``multiprocessing`` workers and
+still guarantee **bit-identical results to serial execution at any worker
+count** — parallelism only reorders wall-clock execution, never the inputs.
+
+Two workload sources are supported:
+
+* :class:`WorkloadSpec` — a synthetic-generation recipe (system, days,
+  seed, job cap).  Workers rematerialize the trace through the shared
+  process-wide cache (:func:`repro.traces.synth.cached_traces`); with
+  fork-started workers the parent's warm cache is inherited for free.
+* an inline :class:`~repro.sched.job.SimWorkload` — concrete job arrays
+  (e.g. parsed from an SWF file), shipped to workers by pickling.
+
+Results are summaries (metric dicts), not raw per-job arrays — small enough
+to cache on disk (:class:`~repro.runner.cache.ResultCache`) and to compare
+exactly across worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..sched import (
+    EASY,
+    BackfillConfig,
+    FaultConfig,
+    ResilienceMetrics,
+    ScheduleMetrics,
+    compute_metrics,
+    compute_resilience_metrics,
+    simulate,
+    simulate_with_faults,
+    workload_from_trace,
+)
+from ..sched.job import SimWorkload
+from .cache import ResultCache, code_version, stable_hash
+
+__all__ = [
+    "WorkloadSpec",
+    "SimTask",
+    "TaskResult",
+    "SweepSpec",
+    "run_sweep",
+    "parallel_map",
+    "derive_seed",
+    "default_jobs",
+    "workload_fingerprint",
+]
+
+
+def derive_seed(base: int, *parts) -> int:
+    """Stable per-task seed derived from ``base`` and arbitrary labels.
+
+    Hash-based, so the seed of one cell never depends on how many other
+    cells exist or in which order they run — the property that keeps
+    parallel sweeps bit-identical to serial ones when each cell carries
+    its own RNG.
+    """
+    payload = json.dumps([int(base), *[str(p) for p in parts]])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # 63-bit non-negative
+
+
+def workload_fingerprint(workload: SimWorkload) -> str:
+    """SHA-256 over the concrete job arrays of an inline workload."""
+    h = hashlib.sha256()
+    for name in ("submit", "cores", "runtime", "walltime", "user", "status"):
+        arr = np.ascontiguousarray(getattr(workload, name))
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Recipe for a synthetic workload (matches the experiment harness).
+
+    ``seed`` is the experiment-level base seed: materialization goes
+    through :func:`repro.traces.synth.cached_traces`, which derives the
+    same per-system seeds as :func:`repro.experiments.common.get_traces`
+    — a sweep cell therefore simulates exactly the trace the serial
+    experiments use.
+    """
+
+    system: str
+    days: float
+    seed: int
+    max_jobs: int | None = None
+
+    def materialize(self) -> tuple[SimWorkload, int]:
+        """(workload, capacity) for this spec; cached per process."""
+        from ..traces.synth import cached_traces
+
+        trace = cached_traces(self.days, self.seed)[self.system]
+        workload = workload_from_trace(trace)
+        if self.max_jobs:
+            workload = workload.slice(self.max_jobs)
+        return workload, trace.system.schedulable_units
+
+    def capacity(self) -> int:
+        """Schedulable units of the target system (no trace generation)."""
+        from ..traces.synth import get_calibration
+
+        return get_calibration(self.system).system.schedulable_units
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation cell of a sweep — pure data, picklable.
+
+    ``label`` is presentation only (it names the cell in results); it is
+    deliberately excluded from the cache fingerprint so identically
+    configured cells share one cache entry.
+    """
+
+    label: str
+    workload: WorkloadSpec | SimWorkload
+    policy: str = "fcfs"
+    backfill: BackfillConfig = EASY
+    faults: FaultConfig | None = None
+    capacity: int | None = None
+    kill_at_walltime: bool = False
+    track_queue: bool = False
+
+    def resolved_capacity(self) -> int:
+        if self.capacity is not None:
+            return int(self.capacity)
+        if isinstance(self.workload, WorkloadSpec):
+            return self.workload.capacity()
+        raise ValueError(
+            f"task {self.label!r}: inline workloads need an explicit capacity"
+        )
+
+    def canonical(self) -> dict:
+        """JSON-serializable identity of the cell (cache-key payload)."""
+        if isinstance(self.workload, WorkloadSpec):
+            wl: dict = {"kind": "synth", **asdict(self.workload)}
+        else:
+            wl = {
+                "kind": "inline",
+                "sha256": workload_fingerprint(self.workload),
+                "n": int(self.workload.n),
+            }
+        return {
+            "workload": wl,
+            "capacity": self.resolved_capacity(),
+            "policy": self.policy,
+            "backfill": self.backfill.as_dict(),
+            "faults": None if self.faults is None else asdict(self.faults),
+            "kill_at_walltime": self.kill_at_walltime,
+            "track_queue": self.track_queue,
+            "code": code_version(),
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this cell's result (see cache docs)."""
+        return stable_hash(self.canonical())
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Serializable outcome of one cell.
+
+    ``metrics`` always carries the full :class:`ScheduleMetrics` key set;
+    ``resilience`` is present for fault-injected cells.  ``cached`` marks
+    results served from the on-disk cache without running a simulation.
+    """
+
+    label: str
+    fingerprint: str
+    summary: dict
+    metrics: dict
+    resilience: dict | None = None
+    max_queue: int | None = None
+    cached: bool = False
+
+    def schedule_metrics(self) -> ScheduleMetrics:
+        return ScheduleMetrics(**self.metrics)
+
+    def resilience_metrics(self) -> ResilienceMetrics | None:
+        if self.resilience is None:
+            return None
+        return ResilienceMetrics(**self.resilience)
+
+    def payload(self) -> dict:
+        """Cacheable portion (label and cached flag are per-invocation)."""
+        return {
+            "summary": self.summary,
+            "metrics": self.metrics,
+            "resilience": self.resilience,
+            "max_queue": self.max_queue,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, label: str, fingerprint: str, payload: dict, cached: bool
+    ) -> "TaskResult":
+        return cls(
+            label=label,
+            fingerprint=fingerprint,
+            summary=payload["summary"],
+            metrics=payload["metrics"],
+            resilience=payload.get("resilience"),
+            max_queue=payload.get("max_queue"),
+            cached=cached,
+        )
+
+
+def _execute_task(task: SimTask) -> TaskResult:
+    """Run one cell to completion (worker-side entry point)."""
+    if isinstance(task.workload, WorkloadSpec):
+        workload, default_capacity = task.workload.materialize()
+        capacity = task.capacity if task.capacity is not None else default_capacity
+    else:
+        workload = task.workload
+        capacity = task.resolved_capacity()
+
+    if task.faults is not None:
+        result = simulate_with_faults(
+            workload,
+            capacity,
+            task.policy,
+            task.backfill,
+            task.faults,
+            track_queue=task.track_queue,
+            kill_at_walltime=task.kill_at_walltime,
+        )
+        resilience = compute_resilience_metrics(result).as_dict()
+    else:
+        result = simulate(
+            workload,
+            capacity,
+            task.policy,
+            task.backfill,
+            track_queue=task.track_queue,
+            kill_at_walltime=task.kill_at_walltime,
+        )
+        resilience = None
+    metrics = compute_metrics(result).as_dict()
+    max_queue = None
+    if task.track_queue:
+        samples = result.queue_samples
+        max_queue = int(samples.max()) if len(samples) else 0
+    return TaskResult(
+        label=task.label,
+        fingerprint=task.fingerprint(),
+        summary=result.to_dict(),
+        metrics=metrics,
+        resilience=resilience,
+        max_queue=max_queue,
+    )
+
+
+def _mp_context():
+    """Fork when available (inherits warm trace caches), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    tasks: Sequence[SimTask],
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> list[TaskResult]:
+    """Execute a sweep, fanning cache misses out over ``jobs`` workers.
+
+    Results come back in task order.  Cells whose fingerprint is present
+    in ``cache`` are served from disk (``cached=True``) without running a
+    simulation; fresh results are written back.  At any ``jobs`` the
+    returned metric dicts are bit-identical to a serial run — cells are
+    independent and carry their own seeds.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    tasks = list(tasks)
+    fingerprints = [t.fingerprint() for t in tasks]
+
+    results: dict[int, TaskResult] = {}
+    misses: list[int] = []
+    for i, (task, fp) in enumerate(zip(tasks, fingerprints)):
+        payload = cache.get(fp) if cache is not None else None
+        if payload is not None:
+            results[i] = TaskResult.from_payload(task.label, fp, payload, cached=True)
+        else:
+            misses.append(i)
+
+    if misses:
+        miss_tasks = [tasks[i] for i in misses]
+        workers = min(jobs, len(miss_tasks))
+        if workers <= 1:
+            computed = [_execute_task(t) for t in miss_tasks]
+        else:
+            ctx = _mp_context()
+            with ctx.Pool(processes=workers) as pool:
+                computed = pool.map(_execute_task, miss_tasks, chunksize=1)
+        for i, res in zip(misses, computed):
+            results[i] = res
+            if cache is not None:
+                cache.put(fingerprints[i], res.payload())
+
+    return [results[i] for i in range(len(tasks))]
+
+
+@dataclass
+class SweepSpec:
+    """A sweep plus its execution settings, as one picklable value.
+
+    Convenience wrapper for callers that want to build a sweep in one
+    place and run it elsewhere (the experiment modules thread ``jobs`` /
+    ``cache_dir`` through this).
+    """
+
+    tasks: list[SimTask] = field(default_factory=list)
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+
+    def add(self, task: SimTask) -> None:
+        self.tasks.append(task)
+
+    def run(self) -> list[TaskResult]:
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        return run_sweep(self.tasks, jobs=self.jobs, cache=cache)
+
+
+def parallel_map(
+    fn: Callable, items: Iterable, jobs: int = 1, chunksize: int = 1
+) -> list:
+    """Order-preserving map over ``items``, optionally across processes.
+
+    ``fn`` must be a picklable top-level function and deterministic in its
+    argument for the serial/parallel equivalence guarantee to hold.  With
+    ``jobs <= 1`` this is exactly ``list(map(fn, items))``.
+    """
+    items = list(items)
+    workers = min(jobs, len(items)) if items else 0
+    if workers <= 1:
+        return [fn(item) for item in items]
+    ctx = _mp_context()
+    with ctx.Pool(processes=workers) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+def default_jobs() -> int:
+    """Worker count honouring ``REPRO_JOBS`` (default: serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1

@@ -59,13 +59,20 @@ class ScheduleMetrics:
     violation_count: int
     n_jobs: int
 
-    def as_dict(self) -> dict[str, float]:
-        """Plain-dict view for table rendering."""
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view for table rendering / JSON export.
+
+        Carries every dataclass field (``ScheduleMetrics(**m.as_dict())``
+        round-trips), so exported summaries and cached sweep results keep
+        the full metric set.
+        """
         return {
             "wait": self.wait,
             "bsld": self.bsld,
             "util": self.util,
             "violation": self.violation,
+            "violation_count": self.violation_count,
+            "n_jobs": self.n_jobs,
         }
 
 

@@ -12,14 +12,14 @@ Canonical columns (all times in seconds since trace start):
 column             dtype    meaning
 =================  =======  ====================================================
 ``job_id``         int64    unique id within the trace
-``user_id``        int64    submitting user
+``user_id``        int64    submitting user (``-1`` when unknown; 0 is a real id)
 ``submit_time``    float64  submission timestamp
 ``wait_time``      float64  queue wait observed in the source system
 ``runtime``        float64  actual execution time
 ``cores``          int64    requested cores (CPUs for HPC, GPUs for DL systems)
 ``req_walltime``   float64  user-requested wall time (NaN when unavailable)
 ``status``         int64    :class:`JobStatus` code
-``vc``             int64    virtual-cluster id (0 when the system has none)
+``vc``             int64    virtual-cluster id (0 when none; ``-1`` when unknown)
 =================  =======  ====================================================
 """
 

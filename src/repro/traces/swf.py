@@ -6,7 +6,9 @@ SWF is the de-facto interchange format for parallel-workload traces
 traces feed external schedulers.
 
 Each data line has 18 whitespace-separated fields; ``-1`` means missing.
-We map the subset relevant to the canonical schema:
+Missing user/partition ids keep the ``-1`` sentinel in the canonical frame
+(:data:`MISSING_ID`) — id ``0`` is legitimate data and must not absorb
+missing values.  We map the subset relevant to the canonical schema:
 
 ====  =======================  ====================
 SWF   field                    canonical column
@@ -37,9 +39,14 @@ from ..frame import Frame
 from .schema import JobStatus, Trace
 from .systems import ResourceKind, SystemKind, SystemSpec
 
-__all__ = ["read_swf", "write_swf", "parse_swf_lines", "format_swf_lines"]
+__all__ = ["read_swf", "write_swf", "parse_swf_lines", "format_swf_lines", "MISSING_ID"]
 
 _SWF_FIELDS = 18
+
+#: sentinel for missing user/partition ids, identical to SWF's own ``-1``
+#: convention.  Id ``0`` is a legitimate value in the canonical schema
+#: (synthetic traces number users from 0), so missing must stay negative.
+MISSING_ID = -1
 
 
 def _swf_status_to_canonical(code: int) -> int:
@@ -102,8 +109,12 @@ def parse_swf_lines(lines: Iterable[str]) -> tuple[Frame, dict]:
     status = np.array(
         [_swf_status_to_canonical(int(s)) for s in data[:, 10]], dtype=np.int64
     )
-    user = np.where(data[:, 11] > 0, data[:, 11], 0).astype(np.int64)
-    partition = np.where(data[:, 15] > 0, data[:, 15], 0).astype(np.int64)
+    # SWF marks missing fields with -1.  Keep that sentinel (MISSING_ID)
+    # instead of remapping to 0: user id 0 and partition 0 are legitimate
+    # values (our synthetic traces number users from 0), and collapsing
+    # missing onto them silently merges distinct populations.
+    user = np.where(data[:, 11] >= 0, data[:, 11], MISSING_ID).astype(np.int64)
+    partition = np.where(data[:, 15] >= 0, data[:, 15], MISSING_ID).astype(np.int64)
 
     frame = Frame(
         {
@@ -180,11 +191,14 @@ def format_swf_lines(trace: Trace) -> list[str]:
                     int(rw) if np.isfinite(rw) else -1,
                     -1,  # requested memory
                     _canonical_status_to_swf(int(j["status"][i])),
-                    int(j["user_id"][i]) or -1,
+                    # -1 only for the missing sentinel: user/partition id 0
+                    # is real data and must survive the round trip
+                    int(j["user_id"][i]) if int(j["user_id"][i]) >= 0 else -1,
                     -1,  # group
                     -1,  # executable
                     -1,  # queue
-                    int(j["vc"][i]) or -1,  # partition number carries vc
+                    # partition number carries vc
+                    int(j["vc"][i]) if int(j["vc"][i]) >= 0 else -1,
                     -1,  # preceding job
                     -1,  # think time
                 )

@@ -17,6 +17,8 @@ a few seconds.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ...frame import Frame
@@ -27,7 +29,7 @@ from .behavior import queue_length_at_submit
 from .calibration import CALIBRATIONS, SystemCalibration, get_calibration
 from .users import UserPopulation, generate_arrivals
 
-__all__ = ["generate_trace", "generate_all_traces"]
+__all__ = ["generate_trace", "generate_all_traces", "cached_traces"]
 
 
 def generate_trace(
@@ -160,3 +162,15 @@ def generate_all_traces(
     for i, name in enumerate(names):
         out[name] = generate_trace(name, days=days, seed=seed * 1009 + i)
     return out
+
+
+@lru_cache(maxsize=4)
+def cached_traces(days: float, seed: int) -> dict[str, Trace]:
+    """Process-wide cache of :func:`generate_all_traces`.
+
+    Shared by the experiment harness (:mod:`repro.experiments.common`) and
+    the parallel sweep runner (:mod:`repro.runner`): with fork-started
+    workers the parent's warm cache is inherited, so workers never
+    regenerate traces.
+    """
+    return generate_all_traces(days=days, seed=seed)

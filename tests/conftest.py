@@ -1,0 +1,57 @@
+"""Shared test fixtures: a hand-rolled per-test wall-clock timeout.
+
+CI must fail fast on a hung test (e.g. a deadlocked ``multiprocessing``
+pool in the sweep-runner tests) instead of burning the job's whole
+``timeout-minutes`` budget.  ``pytest-timeout`` is not part of this
+project's dependency set, so the guard is a plain ``SIGALRM`` fixture:
+
+* ``REPRO_TEST_TIMEOUT`` (seconds, default 300) bounds every test;
+  ``0`` disables the guard entirely;
+* only armed on Unix in the main thread (``signal.alarm`` is a no-op
+  requirement everywhere pytest runs tests elsewhere);
+* nested alarms are not supported — the fixture restores the previous
+  handler on teardown, which is enough for pytest's flat test loop.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+_DEFAULT_TIMEOUT = 300
+
+
+def _timeout_seconds() -> int:
+    try:
+        return int(os.environ.get("REPRO_TEST_TIMEOUT", str(_DEFAULT_TIMEOUT)))
+    except ValueError:
+        return _DEFAULT_TIMEOUT
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    seconds = _timeout_seconds()
+    if (
+        seconds <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {seconds}s wall-clock limit "
+            f"(REPRO_TEST_TIMEOUT={seconds}): {request.node.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

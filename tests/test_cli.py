@@ -171,6 +171,94 @@ class TestCliObservability:
         assert "it is a directory" in capsys.readouterr().err
 
 
+class TestCliPolicySweep:
+    def test_multi_policy_table(self, swf_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "150",
+                "--policy", "fcfs,sjf",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy sweep + easy" in out
+        assert "fcfs" in out and "sjf" in out
+
+    def test_single_policy_output_unchanged(self, swf_path, capsys):
+        # the runner path must render exactly the legacy single-run table
+        assert main(["simulate", str(swf_path), "--max-jobs", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "Theta: fcfs + easy" in out
+        assert "utilization" in out
+
+    def test_cache_warm_run_reports_hits(self, swf_path, tmp_path, capsys):
+        argv = [
+            "simulate", str(swf_path),
+            "--max-jobs", "150",
+            "--policy", "fcfs,sjf",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 hit(s), 2 miss(es)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in warm
+        # identical tables either way
+        assert cold.split("(cache")[0] == warm.split("(cache")[0]
+
+    def test_no_cache_flag_disables_cache(self, swf_path, tmp_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "100",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--no-cache",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hit(s)" not in out
+        assert not (tmp_path / "cache").exists()
+
+    def test_parallel_matches_serial(self, swf_path, capsys):
+        argv = ["simulate", str(swf_path), "--max-jobs", "150",
+                "--policy", "fcfs,sjf,f1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_obs_flags_reject_multi_policy(self, swf_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "50",
+                "--policy", "fcfs,sjf",
+                "--profile",
+            ]
+        ) == 2
+        assert "single run" in capsys.readouterr().err
+
+    def test_bad_jobs_rejected(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--jobs", "0", "--max-jobs", "50"]
+        ) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_empty_policy_rejected(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--policy", ",", "--max-jobs", "50"]
+        ) == 2
+        assert "--policy" in capsys.readouterr().err
+
+    def test_simulate_help_documents_cache_layout(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--help"])
+        # argparse line-wraps help, so compare with whitespace stripped
+        out = "".join(capsys.readouterr().out.split())
+        assert "<cache-dir>/<2-hex-prefix>/<sha256-fingerprint>.json" in out
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def study(self):

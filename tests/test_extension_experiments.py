@@ -227,3 +227,19 @@ class TestPoliciesExtension:
         for cells in result.data.values():
             for policy_cells in cells.values():
                 assert 0.0 <= policy_cells["backfill_rate"] <= 1.0
+
+    def test_parallel_and_cached_runs_identical(self, result, tmp_path):
+        # the runner contract surfaced at the experiment level: fanning the
+        # grid over workers, then replaying it from a warm cache, must both
+        # reproduce the serial fixture's data exactly
+        kwargs = dict(
+            days=DAYS, seed=SEED, policies=("fcfs", "sjf"), max_jobs=800
+        )
+        fanned = run_experiment(
+            "ext_policies", jobs=2, cache_dir=tmp_path / "cache", **kwargs
+        )
+        assert fanned.data == result.data
+        warm = run_experiment(
+            "ext_policies", cache_dir=tmp_path / "cache", **kwargs
+        )
+        assert warm.data == result.data

@@ -152,6 +152,17 @@ class TestAggregation:
     def test_quantile(self, small):
         assert small.quantile("b", 0.5) == pytest.approx(15.5)
 
+    def test_quantile_empty_column_names_column(self):
+        # regression: used to surface as a bare NumPy IndexError
+        empty = Frame({"b": np.array([])})
+        with pytest.raises(ValueError, match="empty column 'b'"):
+            empty.quantile("b", 0.5)
+
+    def test_quantile_empty_after_filter(self, small):
+        filtered = small.filter(np.zeros(small.num_rows, dtype=bool))
+        with pytest.raises(ValueError, match="empty column"):
+            filtered.quantile("b", [0.25, 0.75])
+
     def test_value_counts(self, small):
         vc = small.value_counts("name")
         assert vc.row(0) == {"name": "y", "count": 2}

@@ -70,6 +70,11 @@ class TestShare:
         s = share(np.array([0.0]), np.array([0]), [0, 1])
         assert np.all(s == 0)
 
+    def test_empty_inputs_yield_zeros(self):
+        # empty-input audit: share must not raise on a jobless system
+        s = share(np.array([]), np.array([]), [0, 1, 2])
+        assert s.shape == (3,) and np.all(s == 0)
+
 
 class TestViolin:
     def test_order_of_quantiles(self):

@@ -249,6 +249,36 @@ class TestBackfilling:
         # capacity 5, j0 uses 3. head j1 needs 4 -> shadow 100, extra 1.
         assert res.start[2] == 2.0
 
+    def test_easy_extra_core_accounting(self):
+        # Pins the EASY reservation ledger against engine refactors:
+        # window-fitting backfills must NOT erode the head's ``extra``
+        # budget, while shadow-crossing (extra-consuming) backfills MUST
+        # decrement it so later jobs cannot overdraw the reservation.
+        #
+        # capacity 10; j0 (6 cores, 100s) runs at t=0, so head j1
+        # (8 cores) is promised shadow=100 with extra=2.
+        workload = wl(
+            submit=[0, 1, 1, 2, 3],
+            cores=[6, 8, 4, 2, 2],
+            runtime=[100, 10, 60, 200, 200],
+            walltime=[100, 10, 60, 200, 200],
+        )
+        res = simulate(workload, capacity=10, backfill=EASY)
+        # j2 ends at 61 <= shadow: a pure window fit, leaving extra at 2
+        assert res.start[2] == 1.0 and res.backfilled[2]
+        # j3 crosses the shadow but fits in extra (2 <= 2): consumes it all
+        assert res.start[3] == 61.0 and res.backfilled[3]
+        # j4 also crosses the shadow; extra is now 0, so it must wait --
+        # if extra were not decremented, j4 would start at 61 and delay
+        # the head past its promise
+        assert not res.backfilled[4]
+        assert res.start[4] > res.start[1]
+        # the head starts exactly at its promised shadow time
+        assert res.promised[1] == 100.0
+        assert res.start[1] == 100.0
+        m = compute_metrics(res)
+        assert m.violation_count == 0 and m.violation == 0.0
+
 
 class TestMetrics:
     def test_bounded_slowdown_floor(self):
@@ -265,9 +295,17 @@ class TestMetrics:
         m = compute_metrics(simulate(workload, capacity=4))
         assert m.util == pytest.approx(1.0)
 
-    def test_metrics_as_dict(self):
+    def test_metrics_as_dict_keys_match_dataclass_fields(self):
+        # regression: as_dict used to drop violation_count and n_jobs,
+        # silently truncating CLI/export summaries and cached sweep results
+        import dataclasses
+
+        from repro.sched import ScheduleMetrics
+
         m = compute_metrics(simulate(wl([0], [1], [10]), capacity=4))
-        assert set(m.as_dict()) == {"wait", "bsld", "util", "violation"}
+        d = m.as_dict()
+        assert set(d) == {f.name for f in dataclasses.fields(ScheduleMetrics)}
+        assert ScheduleMetrics(**d) == m
 
 
 class TestIntegrationWithTraces:

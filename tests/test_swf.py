@@ -90,6 +90,46 @@ def test_read_without_system_synthesizes_spec(tmp_path):
     assert back.system.cores == MIRA.schedulable_units
 
 
+def test_user_zero_roundtrips_distinct_from_missing(tmp_path):
+    # regression: -1 (missing) used to be remapped to 0 on parse, and user 0
+    # used to be written as -1 — collapsing a real id onto the sentinel
+    tr = Trace(
+        system=MIRA,
+        jobs=Frame(
+            {
+                "job_id": [1, 2],
+                "user_id": [0, -1],
+                "submit_time": [0.0, 10.0],
+                "wait_time": [1.0, 1.0],
+                "runtime": [100.0, 100.0],
+                "cores": [16, 16],
+                "req_walltime": [3600.0, 3600.0],
+                "status": [0, 0],
+                "vc": [0, -1],
+            }
+        ),
+    )
+    path = tmp_path / "zero.swf"
+    write_swf(tr, path)
+    back = read_swf(path, system=MIRA)
+    assert list(back["user_id"]) == [0, -1]
+    assert list(back["vc"]) == [0, -1]
+
+
+def test_missing_user_keeps_documented_sentinel():
+    from repro.traces.swf import MISSING_ID
+
+    line = "1 0 5 100 16 -1 -1 16 3600 -1 1 -1 -1 -1 -1 -1 -1 -1"
+    frame, _ = parse_swf_lines([line])
+    assert frame["user_id"][0] == MISSING_ID
+    assert frame["vc"][0] == MISSING_ID
+    # a legitimate user/partition id 0 parses as 0, not as the sentinel
+    line0 = "2 0 5 100 16 -1 -1 16 3600 -1 1 0 -1 -1 -1 0 -1 -1"
+    frame0, _ = parse_swf_lines([line0])
+    assert frame0["user_id"][0] == 0
+    assert frame0["vc"][0] == 0
+
+
 def test_synthetic_trace_swf_roundtrip(tmp_path):
     tr = generate_trace("theta", days=1.0, seed=0)
     path = tmp_path / "theta.swf"
