@@ -4,7 +4,17 @@ Every figure/table bench regenerates its paper artifact end-to-end at a
 reduced scale (``BENCH_DAYS`` of synthetic workload, fixed seed) so the
 suite finishes in minutes.  The trace cache in ``repro.experiments.common``
 is pre-warmed here so benches measure analysis cost, not generation.
+
+Opt-in perf trajectory: set ``BENCH_OUT`` to append one JSONL record per
+passing bench (nodeid, wall seconds, scale, ``code_version()``) — point it
+at a file, or at a directory to get ``<dir>/BENCH_history.jsonl``.  The
+history accumulates across runs; ``python -m repro.cli report`` renders it
+and flags benches >= 1.3x their previous recorded run.
 """
+
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -19,3 +29,38 @@ BENCH_SEED = 0
 def warm_traces():
     """Generate the shared per-system traces once per benchmark session."""
     return get_traces(BENCH_DAYS, BENCH_SEED)
+
+
+def _bench_history_path() -> Path | None:
+    out = os.environ.get("BENCH_OUT")
+    if not out:
+        return None
+    path = Path(out)
+    if path.is_dir() or (not path.suffix and not path.exists()):
+        path = path / "BENCH_history.jsonl"
+    return path
+
+
+def pytest_runtest_logreport(report):
+    """Append passing bench timings to the ``BENCH_OUT`` history."""
+    if report.when != "call" or not report.passed:
+        return
+    path = _bench_history_path()
+    if path is None:
+        return
+    from repro.obs import RunRegistry
+    from repro.runner import code_version
+
+    # RunRegistry gives atomic single-line appends, so parallel bench
+    # invocations sharing one history file cannot interleave records
+    with RunRegistry(path) as registry:
+        registry.append(
+            {
+                "bench": report.nodeid,
+                "wall_seconds": float(report.duration),
+                "days": BENCH_DAYS,
+                "seed": BENCH_SEED,
+                "code": code_version(),
+                "ts": time.time(),
+            }
+        )

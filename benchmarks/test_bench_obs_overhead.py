@@ -16,7 +16,8 @@ import time
 
 import numpy as np
 
-from repro.obs import Metrics, Profiler, RingBufferTracer
+from repro.obs import Metrics, NullProgress, Profiler, RingBufferTracer
+from repro.runner import SimTask, WorkloadSpec, run_sweep
 from repro.sched import EASY, simulate, workload_from_trace
 from repro.sched.cluster import Cluster
 from repro.sched.policies import get_policy
@@ -26,6 +27,8 @@ from repro.traces.synth import generate_trace
 NOOP_RATIO_LIMIT = 1.6
 #: full ring-buffer tracing + metrics + profiling: loose sanity bound only
 ACTIVE_RATIO_LIMIT = 10.0
+#: a sweep with the no-op progress reporter attached vs no reporter at all
+SWEEP_NOOP_RATIO_LIMIT = 1.05
 
 
 def _baseline_simulate(workload, capacity, backfill=EASY):
@@ -166,4 +169,52 @@ def test_bench_active_observability_sanity():
     ratio = t_obs / t_base
     assert ratio <= ACTIVE_RATIO_LIMIT, (
         f"active observability costs {ratio:.2f}x the baseline"
+    )
+
+
+def test_bench_sweep_noop_reporter_overhead():
+    """run_sweep with the default no-op reporter stays within 5%.
+
+    ``NullProgress.enabled`` is False, so the sweep skips run-record
+    construction entirely — the observed path differs from the unobserved
+    one by a few attribute checks per cell.  Serial execution keeps pool
+    scheduling noise out of the comparison.
+    """
+    wl = WorkloadSpec(system="theta", days=4.0, seed=5, max_jobs=None)
+    tasks = [
+        SimTask(label=f"{policy}", workload=wl, policy=policy)
+        for policy in ("fcfs", "sjf", "wfp3", "f1")
+    ]
+    # warm the per-process trace cache so neither arm pays generation cost
+    run_sweep(tasks[:1])
+
+    # pair the arms within each round (alternating order) and score the
+    # round's noop/plain ratio, so clock drift and scheduler noise hit
+    # both sides of every ratio equally; the best round wins.  A genuine
+    # overhead shows up in *every* round, so min-of-ratios can't hide it,
+    # while one quiet round is enough to absolve noise.
+    arms = [
+        lambda: run_sweep(tasks),
+        lambda: run_sweep(tasks, progress=NullProgress()),
+    ]
+    ratio = float("inf")
+    plain = observed = None
+    for round_no in range(12):
+        order = (0, 1) if round_no % 2 == 0 else (1, 0)
+        times = [0.0, 0.0]
+        results = [None, None]
+        for arm in order:
+            times[arm], results[arm] = _best_of(arms[arm], repeats=1)
+        if times[1] / times[0] < ratio:
+            ratio = times[1] / times[0]
+            plain, observed = results
+        if round_no >= 2 and ratio <= SWEEP_NOOP_RATIO_LIMIT:
+            break
+
+    # identical results, bit for bit — reporting observes, never decides
+    assert [r.payload() for r in observed] == [r.payload() for r in plain]
+
+    assert ratio <= SWEEP_NOOP_RATIO_LIMIT, (
+        f"no-op progress reporter costs {ratio:.3f}x the bare sweep in the "
+        f"best of 12 paired rounds"
     )

@@ -9,7 +9,10 @@ Subcommands::
                     [--relax F] [--jobs N] [--cache-dir DIR] [--no-cache]
                     [--mtbf-hours H] [--retries N] [--inject-status]
                     [--trace-out events.jsonl] [--metrics-out m.json|m.prom]
-                    [--profile] ...
+                    [--profile] [--run-log runs.jsonl] [--progress MODE] ...
+    repro report    <runs.jsonl | BENCH_history.jsonl>
+                    [--straggler-factor K] [--regression-factor K]
+                    [--fail-on-regression]
     repro study     [--days D] [--seed S] [--report out.md]
 
 Invoke as ``python -m repro.cli ...``.
@@ -243,6 +246,20 @@ def _simulate_direct(args: argparse.Namespace, trace, workload, policy, backfill
     return 0
 
 
+def _sweep_telemetry(args: argparse.Namespace):
+    """(registry, progress) from the sweep-telemetry flags; None = off."""
+    from .obs import JsonlProgress, RunRegistry, TtyProgress
+
+    registry = progress = None
+    if args.run_log:
+        registry = RunRegistry(_ensure_parent(args.run_log))
+    if args.progress == "tty":
+        progress = TtyProgress()
+    elif args.progress == "jsonl":
+        progress = JsonlProgress(sys.stderr)
+    return registry, progress
+
+
 def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfill, faults) -> int:
     """Run one or more policies through the parallel sweep runner."""
     from .runner import ResultCache, SimTask, run_sweep
@@ -250,6 +267,11 @@ def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfil
     cache = None
     if args.cache_dir is not None and not args.no_cache:
         cache = ResultCache(args.cache_dir)
+    try:
+        registry, progress = _sweep_telemetry(args)
+    except ValueError as exc:
+        print(f"invalid run-log output: {exc}", file=sys.stderr)
+        return 2
     tasks = [
         SimTask(
             label=policy,
@@ -261,7 +283,15 @@ def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfil
         )
         for policy in policies
     ]
-    results = run_sweep(tasks, jobs=args.jobs, cache=cache)
+    try:
+        results = run_sweep(
+            tasks, jobs=args.jobs, cache=cache, registry=registry, progress=progress
+        )
+    finally:
+        if registry is not None:
+            registry.close()
+        if progress is not None:
+            progress.close()
     if len(results) == 1:
         cell = results[0]
         if faults is not None:
@@ -325,6 +355,8 @@ def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfil
             f"(cache {args.cache_dir}: {cache.hits} hit(s), "
             f"{cache.misses} miss(es))"
         )
+    if registry is not None:
+        print(f"logged {registry.count} run record(s) to {args.run_log}")
     return 0
 
 
@@ -347,7 +379,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.profile)
+    wants_telemetry = bool(args.run_log) or args.progress != "none"
     if wants_obs:
+        if wants_telemetry:
+            print(
+                "--run-log/--progress observe the sweep runner, which "
+                "--trace-out/--metrics-out/--profile bypass; use one set "
+                "of flags per invocation",
+                file=sys.stderr,
+            )
+            return 2
         if len(policies) > 1:
             print(
                 "--trace-out/--metrics-out/--profile record a single run; "
@@ -359,6 +400,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # the parallel runner (and its cache) entirely
         return _simulate_direct(args, trace, workload, policies[0], backfill, faults)
     return _simulate_sweep(args, trace, workload, policies, backfill, faults)
+
+
+def _render_trajectory(entries: list[dict], key_header: str) -> str:
+    rows = [
+        [
+            str(e["key"]),
+            str(e["index"]),
+            f"{e['value']:.3f}",
+            "-" if e["ratio"] is None else f"{e['ratio']:.2f}x",
+            "REGRESSED" if e["regressed"] else "",
+        ]
+        for e in entries
+    ]
+    return render_table(
+        [key_header, "run", "wall (s)", "vs prev", "flag"],
+        rows,
+        title="trajectory",
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run-registry or bench-history JSONL into aggregate tables."""
+    from .obs import SweepReport, read_records, trajectory
+
+    try:
+        records = read_records(args.log)
+    except OSError as exc:
+        print(f"cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.log}: no records", file=sys.stderr)
+        return 2
+
+    # a bench history logs {"bench": nodeid, ...}; a run registry logs
+    # per-task records keyed by content fingerprint
+    if "bench" in records[0]:
+        kind, key_field = "bench history", "bench"
+    elif "fingerprint" in records[0]:
+        kind, key_field = "run registry", "label"
+    else:
+        print(
+            f"{args.log}: records have neither 'bench' nor 'fingerprint' "
+            "keys; not a telemetry file this command understands",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"{args.log}: {len(records)} record(s), {kind}")
+    if kind == "run registry":
+        print(SweepReport(records, straggler_factor=args.straggler_factor).render())
+    entries = trajectory(
+        records, key_field, regression_factor=args.regression_factor
+    )
+    if entries:
+        print(_render_trajectory(entries, key_field))
+    regressed = [e for e in entries if e["regressed"]]
+    if regressed:
+        print(
+            f"{len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "
+            f">= {args.regression_factor:g}x their predecessor"
+        )
+        if args.fail_on_regression:
+            return 1
+    return 0
 
 
 def _cmd_clone(args: argparse.Namespace) -> int:
@@ -501,7 +609,47 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="time the engine hot paths and print a breakdown",
     )
+    telem = p.add_argument_group("sweep telemetry (docs/OBSERVABILITY.md)")
+    telem.add_argument(
+        "--run-log",
+        type=Path,
+        default=None,
+        help="append one JSONL run record per sweep cell (fingerprint, "
+        "wall seconds, worker, cache hit/miss, result metrics); render "
+        "with `repro report`",
+    )
+    telem.add_argument(
+        "--progress",
+        choices=("none", "tty", "jsonl"),
+        default="none",
+        help="live per-cell progress on stderr as cells complete",
+    )
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "report",
+        help="render a runs.jsonl / bench-history file into aggregate "
+        "tables and a perf trajectory",
+    )
+    p.add_argument("log", type=Path)
+    p.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=3.0,
+        help="flag tasks slower than this multiple of the median wall",
+    )
+    p.add_argument(
+        "--regression-factor",
+        type=float,
+        default=1.3,
+        help="flag entries at least this multiple of their predecessor",
+    )
+    p.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 if any trajectory entry is flagged",
+    )
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(
         "clone", help="fit a workload model to an SWF trace and regenerate"

@@ -76,9 +76,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = list(REGISTRY) if args.experiment == "all" else [args.experiment]
-    cache_dir = None if args.no_cache else args.cache_dir
+    cache = None
+    if args.cache_dir is not None and not args.no_cache:
+        # one shared ResultCache instance (run_sweep and the experiment
+        # modules accept it wherever a cache dir is expected) so hit/miss
+        # counters survive the call and can be reported per experiment
+        from ..runner import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     for exp_id in ids:
         t0 = time.time()
+        hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
         try:
             kwargs = {"days": args.days, "seed": args.seed}
             entry = REGISTRY.get(exp_id)
@@ -89,8 +97,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["max_jobs"] = args.max_jobs
             if args.jobs > 1 and "jobs" in params:
                 kwargs["jobs"] = args.jobs
-            if cache_dir is not None and "cache_dir" in params:
-                kwargs["cache_dir"] = cache_dir
+            if cache is not None and "cache_dir" in params:
+                kwargs["cache_dir"] = cache
             result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
@@ -99,6 +107,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.save:
             txt, js = result.save(args.save)
             print(f"(saved {txt} and {js})")
+        if cache is not None and "cache_dir" in params:
+            print(
+                f"(cache {args.cache_dir}: {cache.hits - hits0} hit(s), "
+                f"{cache.misses - misses0} miss(es))"
+            )
         print(f"\n({exp_id} completed in {time.time() - t0:.1f}s)\n")
     return 0
 

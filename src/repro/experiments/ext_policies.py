@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from ..runner import SimTask, WorkloadSpec, run_sweep
+from ..runner import ResultCache, SimTask, WorkloadSpec, run_sweep
 from ..sched import EASY
 from ..viz import percent, render_table, seconds
 from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult
@@ -29,7 +29,7 @@ def run(
     policies: tuple[str, ...] = ("fcfs", "sjf", "wfp3", "unicef", "f1", "fairshare"),
     max_jobs: int = 6000,
     jobs: int = 1,
-    cache_dir: str | Path | None = None,
+    cache_dir: str | Path | ResultCache | None = None,
 ) -> ExperimentResult:
     """Policy x system grid under EASY backfilling."""
     tasks = [

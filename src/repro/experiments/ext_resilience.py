@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from pathlib import Path
 
-from ..runner import SimTask, WorkloadSpec, run_sweep
+from ..runner import ResultCache, SimTask, WorkloadSpec, run_sweep
 from ..sched import (
     EASY,
     FaultConfig,
@@ -113,7 +113,7 @@ def run(
     mttr_hours: float = 2.0,
     relax: float = 0.1,
     jobs: int = 1,
-    cache_dir: str | Path | None = None,
+    cache_dir: str | Path | ResultCache | None = None,
 ) -> ExperimentResult:
     """Failure-rate x resilience-policy x backfill-mode sweep."""
     trace = get_traces(days, seed)[system]

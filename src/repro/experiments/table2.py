@@ -13,7 +13,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from ..core.adaptive import improvement_pct
-from ..runner import SimTask, WorkloadSpec, run_sweep
+from ..runner import ResultCache, SimTask, WorkloadSpec, run_sweep
 from ..sched import adaptive_relaxed, relaxed
 from ..viz import render_table
 from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult
@@ -40,7 +40,7 @@ def run(
     relax_base: float = 0.1,
     max_jobs: int | None = 40_000,
     jobs: int = 1,
-    cache_dir: str | Path | None = None,
+    cache_dir: str | Path | ResultCache | None = None,
 ) -> ExperimentResult:
     """Reproduce Table II: relaxed vs adaptive-relaxed backfilling."""
     specs = {

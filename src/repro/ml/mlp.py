@@ -27,6 +27,7 @@ class MLPRegressor:
         learning_rate: float = 1e-3,
         l2: float = 1e-5,
         random_state: int = 0,
+        callback=None,
     ) -> None:
         if not hidden:
             raise ValueError("need at least one hidden layer")
@@ -36,6 +37,10 @@ class MLPRegressor:
         self.learning_rate = learning_rate
         self.l2 = l2
         self.random_state = random_state
+        # telemetry only: called as callback(epoch, mse) on standardized
+        # targets; the loss is assembled from values the update path already
+        # computes, so attaching one cannot change the fit (tests/test_ml.py)
+        self.callback = callback
         self._weights: list[np.ndarray] = []
         self._biases: list[np.ndarray] = []
         self._x_scaler = StandardScaler()
@@ -63,6 +68,14 @@ class MLPRegressor:
     def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
         """Train with mini-batch Adam on standardized data."""
         X, y = check_Xy(X, y)
+        if self.epochs < 1:
+            raise ValueError(
+                f"cannot train an MLP for epochs={self.epochs!r}; need >= 1"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"cannot train an MLP with batch_size={self.batch_size!r}; need >= 1"
+            )
         rng = np.random.default_rng(self.random_state)
         Xs = self._x_scaler.fit_transform(X)
         self._y_mean = float(y.mean())
@@ -79,12 +92,15 @@ class MLPRegressor:
         t = 0
 
         batch = min(self.batch_size, n)
-        for _epoch in range(self.epochs):
+        for epoch in range(self.epochs):
             order = rng.permutation(n)
+            sq_sum = 0.0
             for s in range(0, n, batch):
                 idx = order[s : s + batch]
                 xb, yb = Xs[idx], ys[idx]
                 pred, acts = self._forward(xb)
+                if self.callback is not None:
+                    sq_sum += float(np.sum((pred - yb) ** 2))
                 # backprop of squared loss
                 delta = (2.0 / len(idx)) * (pred - yb)[:, None]
                 grads_w: list[np.ndarray] = [None] * len(self._weights)
@@ -115,6 +131,8 @@ class MLPRegressor:
                         * (mb[layer] / corr1)
                         / (np.sqrt(vb[layer] / corr2) + eps)
                     )
+            if self.callback is not None:
+                self.callback(epoch, sq_sum / n)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

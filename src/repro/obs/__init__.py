@@ -19,6 +19,13 @@ and a run with sinks attached is **bit-identical** to one without — the
 instrumentation observes, never decides.  :mod:`repro.obs.timeline`
 replays captured streams into audits and schedule timelines.
 
+The layers *above* the engines get the same treatment:
+:mod:`repro.obs.runs` logs per-task sweep telemetry (``RunRegistry``),
+aggregates it (``SweepReport``), streams live progress
+(``ProgressReporter`` backends) and computes perf trajectories;
+:mod:`repro.obs.training` records per-iteration model-fit loss curves
+(``TrainingLog``) via the ``callback=`` hooks on :mod:`repro.ml` models.
+
 See ``docs/OBSERVABILITY.md`` for the event schema and worked examples.
 """
 
@@ -33,6 +40,18 @@ from .tracer import (
     RingBufferTracer,
     Tracer,
 )
+from .runs import (
+    NULL_PROGRESS,
+    JsonlProgress,
+    NullProgress,
+    ProgressReporter,
+    RunRecord,
+    RunRegistry,
+    SweepReport,
+    TtyProgress,
+    read_records,
+    trajectory,
+)
 from .timeline import (
     check_events,
     read_jsonl,
@@ -40,6 +59,7 @@ from .timeline import (
     summarize_events,
     utilization_series,
 )
+from .training import TrainingLog
 
 __all__ = [
     "events",
@@ -64,4 +84,15 @@ __all__ = [
     "render_timeline",
     "summarize_events",
     "utilization_series",
+    "RunRecord",
+    "RunRegistry",
+    "SweepReport",
+    "ProgressReporter",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "TtyProgress",
+    "JsonlProgress",
+    "read_records",
+    "trajectory",
+    "TrainingLog",
 ]

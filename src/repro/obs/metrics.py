@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from bisect import bisect_left
 
 __all__ = [
@@ -271,15 +272,28 @@ class Metrics:
         return json.dumps(clean(self.to_dict()), indent=indent, allow_nan=False)
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (time series excluded)."""
+        """Prometheus text exposition format (time series excluded).
+
+        Instrument names are sanitized to the exposition grammar
+        ``[a-zA-Z_:][a-zA-Z0-9_:]*`` — any other character becomes ``_``
+        and a leading digit gains a ``_`` prefix — so registries keyed by
+        free-form names (``sim.jobs/started``) still scrape cleanly.
+        """
 
         def fmt(value: float) -> str:
             if math.isinf(value):
                 return "+Inf" if value > 0 else "-Inf"
             return repr(value)
 
+        def sanitize(name: str) -> str:
+            name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+            if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+                name = "_" + name
+            return name
+
         lines: list[str] = []
-        for name, inst in sorted(self._instruments.items()):
+        for raw_name, inst in sorted(self._instruments.items()):
+            name = sanitize(raw_name)
             if inst.help:
                 lines.append(f"# HELP {name} {inst.help}")
             if isinstance(inst, Counter):

@@ -1,0 +1,524 @@
+"""Run registry & sweep telemetry: observability for the layer *above* the engines.
+
+:mod:`repro.obs` instruments the simulation engines; this module instruments
+the orchestration on top of them.  Three pieces:
+
+* :class:`RunRegistry` — an append-only ``runs.jsonl`` of per-task
+  :class:`RunRecord` rows written by :func:`repro.runner.run_sweep`.  Each
+  record identifies a sweep cell by fingerprint (the same content hash the
+  result cache uses), says where and how long it ran (worker id, wall
+  seconds, cache hit/miss), and carries the cell's key result metrics —
+  the same telemetry a production cluster logs per task so the work mix
+  can be mined later (the paper's own methodology, applied to our runs).
+  Appends are single ``O_APPEND`` writes of one complete line, so
+  concurrent sweeps can share a registry file without interleaving.
+* :class:`SweepReport` — aggregates a record stream into per-worker load
+  balance, straggler detection (tasks above ``k×`` the median wall time),
+  cache efficiency, and throughput; exports JSON and rendered text.
+* :class:`ProgressReporter` — a small protocol driven from the
+  ``run_sweep`` parent as worker futures complete.  Reporting observes
+  completion order but never feeds anything back into a task, so the
+  sweep's bit-identical-to-serial guarantee is untouched.  Backends:
+  :class:`NullProgress` (the free default), :class:`TtyProgress` (one
+  self-overwriting status line), :class:`JsonlProgress` (machine-readable
+  event stream).
+
+:func:`trajectory` turns any keyed JSONL timing log (a run registry, or the
+bench history written by ``benchmarks/conftest.py`` under ``BENCH_OUT``)
+into an ordered per-key series with regression flags; ``repro.cli report``
+renders it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, Sequence
+
+__all__ = [
+    "RunRecord",
+    "RunRegistry",
+    "SweepReport",
+    "ProgressReporter",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "TtyProgress",
+    "JsonlProgress",
+    "trajectory",
+    "read_records",
+]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One task execution observed by a sweep.
+
+    ``seq`` is the completion index within the sweep invocation (cache
+    hits are reported first, then computed cells in the order their
+    futures completed); ``worker`` is ``"cache"`` for hits and otherwise
+    the executing process's name (``ForkPoolWorker-N`` for parallel
+    cells, ``MainProcess`` for serial ones).  ``metrics`` carries the
+    cell's result metrics verbatim so a registry can be mined without the
+    result cache at hand.
+    """
+
+    fingerprint: str
+    label: str
+    policy: str
+    system: str | None
+    wall_seconds: float
+    cached: bool
+    worker: str
+    seq: int
+    code: str
+    metrics: dict = field(default_factory=dict)
+    ts: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        return cls(**{k: payload.get(k) for k in cls.__dataclass_fields__})
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Parse a JSONL telemetry file (run registry or bench history).
+
+    Blank lines are skipped; a malformed line raises :class:`ValueError`
+    naming its line number, because a silently dropped record would make a
+    trajectory lie.
+    """
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} is not valid JSON: {exc}"
+                ) from exc
+    return records
+
+
+class RunRegistry:
+    """Append-only JSONL store of :class:`RunRecord` rows.
+
+    Every :meth:`append` is one complete line written with a single
+    ``os.write`` on an ``O_APPEND`` descriptor — atomic on local
+    filesystems, so concurrent sweep processes can log into one file and
+    every line stays parseable.  The registry never rewrites history;
+    repeated sweeps accumulate, which is exactly what makes trajectories
+    (``repro.cli report``) possible.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self.count = 0
+
+    def append(self, record: "RunRecord | dict") -> None:
+        """Write one record as one atomic JSONL line."""
+        if self._fd is None:
+            raise ValueError(f"registry {self.path} is closed")
+        payload = record.to_dict() if isinstance(record, RunRecord) else dict(record)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        self.count += 1
+
+    def records(self) -> list[dict]:
+        """Read back every record currently in the file."""
+        if not self.path.exists():
+            return []
+        return read_records(self.path)
+
+    def close(self) -> None:
+        """Release the descriptor (idempotent; appends are already durable)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class SweepReport:
+    """Aggregate view of a run-record stream.
+
+    Works on records from :class:`RunRegistry.records` (or any iterable of
+    compatible dicts).  Cached cells count toward cache efficiency but are
+    excluded from wall-time statistics — a hit costs a file read, not a
+    simulation — so load balance and stragglers describe real work only.
+    """
+
+    def __init__(
+        self, records: Iterable[dict], straggler_factor: float = 3.0
+    ) -> None:
+        if straggler_factor <= 1.0:
+            raise ValueError("straggler_factor must be > 1")
+        self.records = list(records)
+        self.straggler_factor = float(straggler_factor)
+        self.computed = [r for r in self.records if not r.get("cached")]
+        self.n_tasks = len(self.records)
+        self.n_cached = self.n_tasks - len(self.computed)
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cells served from the result cache (NaN when empty)."""
+        if not self.records:
+            return math.nan
+        return self.n_cached / self.n_tasks
+
+    @property
+    def median_wall(self) -> float:
+        walls = sorted(r["wall_seconds"] for r in self.computed)
+        if not walls:
+            return math.nan
+        mid = len(walls) // 2
+        if len(walls) % 2:
+            return walls[mid]
+        return 0.5 * (walls[mid - 1] + walls[mid])
+
+    @property
+    def total_wall(self) -> float:
+        """Summed compute wall time (cpu-seconds across workers)."""
+        return sum(r["wall_seconds"] for r in self.computed)
+
+    def per_worker(self) -> dict[str, dict]:
+        """``worker -> {"tasks": n, "wall_seconds": total}`` over computed cells."""
+        out: dict[str, dict] = {}
+        for r in self.computed:
+            slot = out.setdefault(r["worker"], {"tasks": 0, "wall_seconds": 0.0})
+            slot["tasks"] += 1
+            slot["wall_seconds"] += r["wall_seconds"]
+        return out
+
+    @property
+    def balance(self) -> float:
+        """Busiest worker's wall over the mean worker wall (1.0 = perfect).
+
+        The classic load-imbalance factor: with ``w`` workers, finishing
+        the sweep takes ``balance / w`` of the serial time instead of the
+        ideal ``1 / w``.
+        """
+        workers = self.per_worker()
+        if not workers:
+            return math.nan
+        walls = [slot["wall_seconds"] for slot in workers.values()]
+        mean = sum(walls) / len(walls)
+        return max(walls) / mean if mean > 0 else math.nan
+
+    def stragglers(self) -> list[dict]:
+        """Computed cells whose wall time exceeds ``factor × median``."""
+        median = self.median_wall
+        if not math.isfinite(median) or median <= 0:
+            return []
+        limit = self.straggler_factor * median
+        out = []
+        for r in self.computed:
+            if r["wall_seconds"] > limit:
+                out.append({**r, "ratio_to_median": r["wall_seconds"] / median})
+        return sorted(out, key=lambda r: -r["wall_seconds"])
+
+    @property
+    def throughput(self) -> float:
+        """Tasks per wall-clock second, estimated from completion stamps.
+
+        Uses the ``ts`` span when the records carry distinct timestamps
+        (and widens it by the first completion's own wall time, which the
+        span misses); falls back to summed compute time for single-record
+        or timestamp-free streams.  An estimate — sweeps that share a
+        registry file interleave their stamps.
+        """
+        if not self.records:
+            return math.nan
+        stamps = [r.get("ts", 0.0) for r in self.records]
+        span = max(stamps) - min(stamps)
+        if span > 0:
+            first = min(self.records, key=lambda r: r.get("ts", 0.0))
+            span += first.get("wall_seconds", 0.0)
+            return len(self.records) / span
+        total = self.total_wall
+        return len(self.records) / total if total > 0 else math.nan
+
+    # --------------------------------------------------------------- export
+    def to_dict(self) -> dict:
+        def clean(x: float) -> float | None:
+            return x if isinstance(x, (int, float)) and math.isfinite(x) else None
+
+        return {
+            "n_tasks": self.n_tasks,
+            "n_cached": self.n_cached,
+            "n_computed": len(self.computed),
+            "cache_hit_rate": clean(self.cache_hit_rate),
+            "wall": {
+                "total_s": self.total_wall,
+                "median_s": clean(self.median_wall),
+                "max_s": max(
+                    (r["wall_seconds"] for r in self.computed), default=None
+                ),
+            },
+            "workers": self.per_worker(),
+            "balance": clean(self.balance),
+            "straggler_factor": self.straggler_factor,
+            "stragglers": [
+                {
+                    "label": r.get("label"),
+                    "fingerprint": r.get("fingerprint"),
+                    "wall_seconds": r["wall_seconds"],
+                    "ratio_to_median": r["ratio_to_median"],
+                }
+                for r in self.stragglers()
+            ],
+            "throughput_tasks_per_s": clean(self.throughput),
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    def render(self) -> str:
+        """Human-readable aggregate tables (cache, workers, stragglers)."""
+        from ..viz import render_table
+
+        snap = self.to_dict()
+
+        def fmt(value, pattern="{:.2f}"):
+            return "-" if value is None else pattern.format(value)
+
+        overview = render_table(
+            ["metric", "value"],
+            [
+                ["tasks", str(snap["n_tasks"])],
+                ["cached", str(snap["n_cached"])],
+                ["computed", str(snap["n_computed"])],
+                ["cache efficiency", fmt(snap["cache_hit_rate"], "{:.1%}")],
+                ["compute wall (s)", fmt(snap["wall"]["total_s"])],
+                ["median task (s)", fmt(snap["wall"]["median_s"], "{:.3f}")],
+                ["max task (s)", fmt(snap["wall"]["max_s"], "{:.3f}")],
+                ["load balance (max/mean)", fmt(snap["balance"])],
+                ["throughput (tasks/s)", fmt(snap["throughput_tasks_per_s"])],
+            ],
+            title="sweep summary",
+        )
+        parts = [overview]
+        if snap["workers"]:
+            parts.append(
+                render_table(
+                    ["worker", "tasks", "wall (s)"],
+                    [
+                        [name, str(slot["tasks"]), f"{slot['wall_seconds']:.2f}"]
+                        for name, slot in sorted(snap["workers"].items())
+                    ],
+                    title="per-worker load",
+                )
+            )
+        straggler_rows = [
+            [
+                str(s["label"]),
+                f"{s['wall_seconds']:.3f}",
+                f"{s['ratio_to_median']:.1f}x",
+            ]
+            for s in snap["stragglers"]
+        ]
+        if not straggler_rows:
+            straggler_rows = [["(none)", "-", "-"]]
+        parts.append(
+            render_table(
+                ["task", "wall (s)", "vs median"],
+                straggler_rows,
+                title=f"stragglers (> {self.straggler_factor:g}x median)",
+            )
+        )
+        return "\n".join(parts)
+
+
+# ------------------------------------------------------------------ progress
+class ProgressReporter:
+    """Protocol for sweep progress; every hook is optional to override.
+
+    ``enabled`` mirrors :class:`~repro.obs.tracer.Tracer`'s fast-path
+    flag: ``run_sweep`` builds per-task records only when a registry is
+    attached or the reporter is enabled, so the default path stays free.
+    Hooks fire in the parent process as futures complete — they observe
+    the sweep, never influence it.
+    """
+
+    enabled: bool = True
+
+    def sweep_start(self, total: int, cached: int, jobs: int) -> None:
+        """Called once before any task is reported."""
+
+    def task_done(self, record: RunRecord, done: int, total: int) -> None:
+        """Called per cell in completion order (cache hits first)."""
+
+    def sweep_end(self, stats: dict) -> None:
+        """Called once with the sweep's :class:`SweepStats` dict."""
+
+    def close(self) -> None:
+        """Flush and release backing resources (idempotent)."""
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullProgress(ProgressReporter):
+    """The do-nothing default; ``enabled`` is False."""
+
+    enabled = False
+
+
+#: shared no-op instance used as ``run_sweep``'s default reporter
+NULL_PROGRESS = NullProgress()
+
+
+class TtyProgress(ProgressReporter):
+    """One self-overwriting status line (for humans watching a terminal)."""
+
+    def __init__(self, stream: IO[str] | None = None, width: int = 78) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._width = int(width)
+        self._t0 = time.perf_counter()
+        self._total = 0
+
+    def sweep_start(self, total: int, cached: int, jobs: int) -> None:
+        self._t0 = time.perf_counter()
+        self._total = total
+        self._stream.write(
+            f"sweep: {total} task(s), {cached} cached, {jobs} worker(s)\n"
+        )
+        self._stream.flush()
+
+    def task_done(self, record: RunRecord, done: int, total: int) -> None:
+        cost = "cached" if record.cached else f"{record.wall_seconds:.2f}s"
+        line = (
+            f"[{done}/{total}] {record.label} ({cost}) "
+            f"elapsed {time.perf_counter() - self._t0:.1f}s"
+        )
+        self._stream.write("\r" + line[: self._width].ljust(self._width))
+        self._stream.flush()
+
+    def sweep_end(self, stats: dict) -> None:
+        self._stream.write("\n")
+        self._stream.flush()
+
+
+class JsonlProgress(ProgressReporter):
+    """Machine-readable progress: one JSON object per event.
+
+    Accepts a path (owned: closed by :meth:`close`) or an open text stream
+    (caller-owned: only flushed), mirroring :class:`JsonlTracer`.
+    """
+
+    def __init__(self, path: str | Path | IO[str]) -> None:
+        if hasattr(path, "write"):
+            self._file: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+            self.path: Path | None = None
+        else:
+            self.path = Path(path)
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._owns = True
+        self._closed = False
+        self.count = 0
+
+    def _emit(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self.count += 1
+
+    def sweep_start(self, total: int, cached: int, jobs: int) -> None:
+        self._emit(
+            {
+                "event": "sweep_start",
+                "total": total,
+                "cached": cached,
+                "jobs": jobs,
+                "ts": time.time(),
+            }
+        )
+
+    def task_done(self, record: RunRecord, done: int, total: int) -> None:
+        self._emit(
+            {
+                "event": "task_done",
+                "done": done,
+                "total": total,
+                **record.to_dict(),
+            }
+        )
+
+    def sweep_end(self, stats: dict) -> None:
+        self._emit({"event": "sweep_end", **stats, "ts": time.time()})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._file.closed:
+            return
+        if self._owns:
+            self._file.close()
+        else:
+            self._file.flush()
+
+
+# ---------------------------------------------------------------- trajectory
+def trajectory(
+    records: Sequence[dict],
+    key_field: str,
+    value_field: str = "wall_seconds",
+    regression_factor: float = 1.3,
+) -> list[dict]:
+    """Per-key ordered series with regression flags.
+
+    Groups ``records`` by ``records[key_field]`` preserving append order,
+    and for each consecutive pair within a key computes
+    ``ratio = value / previous value``; an entry is ``regressed`` when the
+    ratio is ``>= regression_factor``.  Skipped: records missing the key
+    or the value, and cache-hit sweep cells (``cached`` truthy — their
+    wall time measures a file read, not engine speed).
+    """
+    if regression_factor <= 1.0:
+        raise ValueError("regression_factor must be > 1")
+    last: dict[str, float] = {}
+    runs: dict[str, int] = {}
+    out: list[dict] = []
+    for record in records:
+        key = record.get(key_field)
+        value = record.get(value_field)
+        if key is None or not isinstance(value, (int, float)) or record.get("cached"):
+            continue
+        index = runs.get(key, 0)
+        runs[key] = index + 1
+        prev = last.get(key)
+        ratio = value / prev if prev else None
+        out.append(
+            {
+                "key": key,
+                "index": index,
+                "value": float(value),
+                "ratio": ratio,
+                "regressed": ratio is not None and ratio >= regression_factor,
+            }
+        )
+        last[key] = float(value)
+    return out

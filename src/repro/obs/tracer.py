@@ -97,8 +97,19 @@ class JsonlTracer(Tracer):
         self.count += 1
 
     def close(self) -> None:
-        if self._owns and not self._file.closed:
+        """Flush buffered events; close the file only when we opened it.
+
+        Caller-supplied streams are flushed, not closed — the caller may
+        still be writing other data — but without the flush the tail of
+        the event log could sit in Python's buffer forever.  Idempotent,
+        and safe after the caller has already closed their own stream.
+        """
+        if self._file.closed:
+            return
+        if self._owns:
             self._file.close()
+        else:
+            self._file.flush()
 
 
 class RingBufferTracer(Tracer):

@@ -1,0 +1,51 @@
+"""Training telemetry: a tiny recorder for model-fit callbacks.
+
+Every iterative model in :mod:`repro.ml` accepts an optional
+``callback=`` — called as ``callback(index, loss, **extra)`` once per
+epoch (MLP), boosting stage (GBM / quantile GBM) or L-BFGS iteration
+(Tobit).  The callback *observes* training: models compute the reported
+loss only when a callback is attached, and never let it influence the
+update path, so fitted coefficients are bit-identical with or without
+telemetry (identity-tested in ``tests/test_ml.py``).
+
+:class:`TrainingLog` is the standard sink — any callable with the same
+signature works, but the log gives you indexed records, loss curves and a
+JSON-able dict for free::
+
+    log = TrainingLog()
+    MLPRegressor(epochs=40, callback=log).fit(X, y)
+    log.losses          # per-epoch mean squared error
+    log.to_dict()       # {"n": 40, "records": [...]}
+"""
+
+from __future__ import annotations
+
+__all__ = ["TrainingLog"]
+
+
+class TrainingLog:
+    """Callable recorder for per-iteration training callbacks.
+
+    Each ``__call__(index, loss, **extra)`` appends one record; ``extra``
+    keys (e.g. ``val_mse`` from early-stopping GBMs) are stored verbatim.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def __call__(self, index: int, loss: float, **extra) -> None:
+        self.records.append({"index": int(index), "loss": float(loss), **extra})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def indices(self) -> list[int]:
+        return [r["index"] for r in self.records]
+
+    @property
+    def losses(self) -> list[float]:
+        return [r["loss"] for r in self.records]
+
+    def to_dict(self) -> dict:
+        return {"n": len(self.records), "records": list(self.records)}

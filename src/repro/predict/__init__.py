@@ -4,6 +4,7 @@ from .features import FEATURE_NAMES, PredictionDataset, build_dataset
 from .harness import (
     ArmResult,
     ElapsedComparison,
+    ModelTiming,
     augment_with_checkpoints,
     run_use_case1,
 )
@@ -20,5 +21,6 @@ __all__ = [
     "run_use_case1",
     "ElapsedComparison",
     "ArmResult",
+    "ModelTiming",
     "augment_with_checkpoints",
 ]

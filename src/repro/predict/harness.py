@@ -18,7 +18,8 @@ Protocol (faithful to §VI-A's fair-comparison setup):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,7 +28,13 @@ from ..traces.schema import Trace
 from .features import PredictionDataset, build_dataset
 from .models import MODEL_NAMES, make_predictor
 
-__all__ = ["ArmResult", "ElapsedComparison", "run_use_case1", "augment_with_checkpoints"]
+__all__ = [
+    "ArmResult",
+    "ModelTiming",
+    "ElapsedComparison",
+    "run_use_case1",
+    "augment_with_checkpoints",
+]
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,19 @@ class ArmResult:
     n_test: int
 
 
+@dataclass(frozen=True)
+class ModelTiming:
+    """Wall-clock cost of one (model, threshold, arm) fit + predict."""
+
+    model: str
+    elapsed_fraction: float
+    arm: str  # "baseline" | "elapsed"
+    fit_seconds: float
+    predict_seconds: float
+    n_train: int
+    n_test: int
+
+
 @dataclass
 class ElapsedComparison:
     """All Fig 12 cells for one trace."""
@@ -49,6 +69,7 @@ class ElapsedComparison:
     system: str
     mean_runtime: float
     results: list[ArmResult]
+    timings: list[ModelTiming] = field(default_factory=list)
 
     def cell(self, model: str, fraction: float, arm: str) -> ArmResult:
         """Look up one result cell."""
@@ -60,6 +81,23 @@ class ElapsedComparison:
             ):
                 return r
         raise KeyError((model, fraction, arm))
+
+    def model_report(self) -> dict:
+        """Per-model wall-time totals over every cell this run executed.
+
+        ``{"model": {"fit_seconds", "predict_seconds", "n_fits"}}`` — the
+        exportable cost side of Fig 12, pairing each comparator's accuracy
+        with what its training actually cost.
+        """
+        out: dict[str, dict] = {}
+        for t in self.timings:
+            slot = out.setdefault(
+                t.model, {"fit_seconds": 0.0, "predict_seconds": 0.0, "n_fits": 0}
+            )
+            slot["fit_seconds"] += t.fit_seconds
+            slot["predict_seconds"] += t.predict_seconds
+            slot["n_fits"] += 1
+        return out
 
 
 def augment_with_checkpoints(
@@ -121,6 +159,7 @@ def run_use_case1(
     test_all = data.subset(np.arange(data.n) >= n_train)
 
     results: list[ArmResult] = []
+    timings: list[ModelTiming] = []
     for frac in fractions:
         threshold = frac * mean_rt
         alive = test_all.runtime > threshold
@@ -131,14 +170,42 @@ def run_use_case1(
         for model_name in models:
             # ---- baseline arm: base features, trained on all history -----
             predictor = make_predictor(model_name)
+            t0 = time.perf_counter()
             predictor.fit(train, train.X)
+            t1 = time.perf_counter()
             pred_base = predictor.predict(test, test.X)
+            t2 = time.perf_counter()
+            timings.append(
+                ModelTiming(
+                    model=model_name,
+                    elapsed_fraction=frac,
+                    arm="baseline",
+                    fit_seconds=t1 - t0,
+                    predict_seconds=t2 - t1,
+                    n_train=train.n,
+                    n_test=test.n,
+                )
+            )
 
             # ---- elapsed arm: survival-augmented training ------------------
             predictor_e = make_predictor(model_name)
             X_aug, train_aug = augment_with_checkpoints(train, threshold)
+            t0 = time.perf_counter()
             predictor_e.fit(train_aug, X_aug)
+            t1 = time.perf_counter()
             pred_elapsed = predictor_e.predict(test, test.with_elapsed(threshold))
+            t2 = time.perf_counter()
+            timings.append(
+                ModelTiming(
+                    model=model_name,
+                    elapsed_fraction=frac,
+                    arm="elapsed",
+                    fit_seconds=t1 - t0,
+                    predict_seconds=t2 - t1,
+                    n_train=train_aug.n,
+                    n_test=test.n,
+                )
+            )
 
             for arm, pred in (("baseline", pred_base), ("elapsed", pred_elapsed)):
                 results.append(
@@ -156,5 +223,8 @@ def run_use_case1(
                     )
                 )
     return ElapsedComparison(
-        system=trace.system.name, mean_runtime=mean_rt, results=results
+        system=trace.system.name,
+        mean_runtime=mean_rt,
+        results=results,
+        timings=timings,
     )

@@ -16,6 +16,7 @@ from .cache import ResultCache, code_version, stable_hash
 from .sweep import (
     SimTask,
     SweepSpec,
+    SweepStats,
     TaskResult,
     WorkloadSpec,
     default_jobs,
@@ -31,6 +32,7 @@ __all__ = [
     "stable_hash",
     "SimTask",
     "SweepSpec",
+    "SweepStats",
     "TaskResult",
     "WorkloadSpec",
     "default_jobs",

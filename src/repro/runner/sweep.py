@@ -24,13 +24,15 @@ exactly across worker counts.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import multiprocessing
 import os
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -49,10 +51,14 @@ from ..sched import (
 from ..sched.job import SimWorkload
 from .cache import ResultCache, code_version, stable_hash
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import at runtime
+    from ..obs.runs import ProgressReporter, RunRegistry
+
 __all__ = [
     "WorkloadSpec",
     "SimTask",
     "TaskResult",
+    "SweepStats",
     "SweepSpec",
     "run_sweep",
     "parallel_map",
@@ -179,6 +185,10 @@ class TaskResult:
     ``metrics`` always carries the full :class:`ScheduleMetrics` key set;
     ``resilience`` is present for fault-injected cells.  ``cached`` marks
     results served from the on-disk cache without running a simulation.
+    ``wall_seconds``/``worker`` are per-invocation telemetry (where and
+    how long the cell ran) — like ``label`` and ``cached`` they are
+    excluded from :meth:`payload`, so caching and cross-worker identity
+    comparisons never see them.
     """
 
     label: str
@@ -188,6 +198,8 @@ class TaskResult:
     resilience: dict | None = None
     max_queue: int | None = None
     cached: bool = False
+    wall_seconds: float = 0.0
+    worker: str = ""
 
     def schedule_metrics(self) -> ScheduleMetrics:
         return ScheduleMetrics(**self.metrics)
@@ -266,16 +278,93 @@ def _execute_task(task: SimTask) -> TaskResult:
     )
 
 
+def _execute_indexed(item: tuple[int, SimTask]) -> tuple[int, TaskResult, float, str]:
+    """Worker-side wrapper: run one indexed cell and time it.
+
+    Returns ``(index, result, wall_seconds, worker_name)`` so the parent
+    can reassemble results in task order while observing completion order
+    for progress reporting.  The timing wraps only this cell's execution —
+    pool scheduling overhead stays out of per-task telemetry.
+    """
+    i, task = item
+    t0 = time.perf_counter()
+    result = _execute_task(task)
+    wall = time.perf_counter() - t0
+    return i, result, wall, multiprocessing.current_process().name
+
+
 def _mp_context():
     """Fork when available (inherits warm trace caches), else spawn."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+@dataclass
+class SweepStats:
+    """Execution telemetry for one :func:`run_sweep` invocation.
+
+    ``fingerprint_seconds``/``probe_seconds``/``execute_seconds`` are the
+    parent's per-phase wall clock (hashing cells, probing the cache,
+    running misses); ``task_seconds`` sums the workers' own per-cell walls
+    (> ``execute_seconds`` when workers overlap).  ``cache_hits``/
+    ``cache_misses`` are this invocation's deltas, valid even when the
+    :class:`ResultCache` instance is shared across sweeps.
+    """
+
+    n_tasks: int = 0
+    n_cached: int = 0
+    n_executed: int = 0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fingerprint_seconds: float = 0.0
+    probe_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    task_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.n_tasks} task(s)",
+            f"{self.n_cached} cached",
+            f"{self.n_executed} executed on {self.jobs} worker(s)",
+            f"wall {self.total_seconds:.2f}s",
+        ]
+        if self.task_seconds:
+            parts.append(f"compute {self.task_seconds:.2f}s")
+        return ", ".join(parts)
+
+
+def _run_record(result: TaskResult, task: SimTask, seq: int):
+    """Build the telemetry record for one completed cell."""
+    from ..obs.runs import RunRecord
+
+    system = task.workload.system if isinstance(task.workload, WorkloadSpec) else None
+    return RunRecord(
+        fingerprint=result.fingerprint,
+        label=result.label,
+        policy=task.policy,
+        system=system,
+        wall_seconds=result.wall_seconds,
+        cached=result.cached,
+        worker=result.worker,
+        seq=seq,
+        code=code_version(),
+        metrics=dict(result.metrics),
+        ts=time.time(),
+    )
+
+
 def run_sweep(
     tasks: Sequence[SimTask],
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
+    registry: "RunRegistry | None" = None,
+    progress: "ProgressReporter | None" = None,
+    stats_out: SweepStats | None = None,
 ) -> list[TaskResult]:
     """Execute a sweep, fanning cache misses out over ``jobs`` workers.
 
@@ -284,36 +373,111 @@ def run_sweep(
     simulation; fresh results are written back.  At any ``jobs`` the
     returned metric dicts are bit-identical to a serial run — cells are
     independent and carry their own seeds.
+
+    Telemetry (all optional, all pure observers — attaching them changes
+    nothing about the results; see ``tests/test_runner.py``):
+
+    * ``registry`` — a :class:`repro.obs.runs.RunRegistry`; one
+      :class:`~repro.obs.runs.RunRecord` is appended per cell, cache hits
+      first, then computed cells in completion order.
+    * ``progress`` — a :class:`~repro.obs.runs.ProgressReporter`; driven
+      from the parent as worker futures complete.  The default no-op
+      reporter keeps the unobserved path free of record construction.
+    * ``stats_out`` — a :class:`SweepStats` to fill with cache hit/miss
+      deltas and per-phase wall time.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
     tasks = list(tasks)
+
+    t_start = time.perf_counter()
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+
     fingerprints = [t.fingerprint() for t in tasks]
+    t_fingerprinted = time.perf_counter()
 
     results: dict[int, TaskResult] = {}
     misses: list[int] = []
     for i, (task, fp) in enumerate(zip(tasks, fingerprints)):
         payload = cache.get(fp) if cache is not None else None
         if payload is not None:
-            results[i] = TaskResult.from_payload(task.label, fp, payload, cached=True)
+            results[i] = TaskResult.from_payload(
+                task.label, fp, payload, cached=True
+            )
         else:
             misses.append(i)
+    t_probed = time.perf_counter()
 
+    if progress is None:
+        from ..obs.runs import NULL_PROGRESS
+
+        progress = NULL_PROGRESS
+    # Records cost a dict copy per cell; skip building them entirely when
+    # nobody is listening (same fast-path contract as Tracer.enabled).
+    observing = registry is not None or progress.enabled
+    seq = 0
+    done = 0
+    total = len(tasks)
+    if observing:
+        progress.sweep_start(total, len(results), jobs)
+        for i in sorted(results):
+            record = _run_record(
+                dataclasses.replace(results[i], worker="cache"), tasks[i], seq
+            )
+            if registry is not None:
+                registry.append(record)
+            seq += 1
+            done += 1
+            progress.task_done(record, done, total)
+
+    task_seconds = 0.0
     if misses:
-        miss_tasks = [tasks[i] for i in misses]
-        workers = min(jobs, len(miss_tasks))
+        indexed = [(i, tasks[i]) for i in misses]
+        workers = min(jobs, len(indexed))
         if workers <= 1:
-            computed = [_execute_task(t) for t in miss_tasks]
+            completions: Iterable = map(_execute_indexed, indexed)
+            pool = None
         else:
             ctx = _mp_context()
-            with ctx.Pool(processes=workers) as pool:
-                computed = pool.map(_execute_task, miss_tasks, chunksize=1)
-        for i, res in zip(misses, computed):
-            results[i] = res
-            if cache is not None:
-                cache.put(fingerprints[i], res.payload())
+            pool = ctx.Pool(processes=workers)
+            completions = pool.imap_unordered(_execute_indexed, indexed, chunksize=1)
+        try:
+            for i, res, wall, worker in completions:
+                task_seconds += wall
+                res = dataclasses.replace(res, wall_seconds=wall, worker=worker)
+                results[i] = res
+                if cache is not None:
+                    cache.put(fingerprints[i], res.payload())
+                if observing:
+                    record = _run_record(res, tasks[i], seq)
+                    if registry is not None:
+                        registry.append(record)
+                    seq += 1
+                    done += 1
+                    progress.task_done(record, done, total)
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+    t_executed = time.perf_counter()
+
+    stats = stats_out if stats_out is not None else SweepStats()
+    stats.n_tasks = total
+    stats.n_cached = total - len(misses)
+    stats.n_executed = len(misses)
+    stats.jobs = jobs
+    stats.cache_hits = (cache.hits - hits0) if cache is not None else 0
+    stats.cache_misses = (cache.misses - misses0) if cache is not None else 0
+    stats.fingerprint_seconds = t_fingerprinted - t_start
+    stats.probe_seconds = t_probed - t_fingerprinted
+    stats.execute_seconds = t_executed - t_probed
+    stats.task_seconds = task_seconds
+    stats.total_seconds = t_executed - t_start
+    if observing:
+        progress.sweep_end(stats.as_dict())
 
     return [results[i] for i in range(len(tasks))]
 
@@ -329,14 +493,22 @@ class SweepSpec:
 
     tasks: list[SimTask] = field(default_factory=list)
     jobs: int = 1
-    cache_dir: str | Path | None = None
+    cache_dir: str | Path | ResultCache | None = None
 
     def add(self, task: SimTask) -> None:
         self.tasks.append(task)
 
-    def run(self) -> list[TaskResult]:
-        cache = ResultCache(self.cache_dir) if self.cache_dir else None
-        return run_sweep(self.tasks, jobs=self.jobs, cache=cache)
+    def run(self, **telemetry) -> list[TaskResult]:
+        """Execute; ``**telemetry`` forwards ``registry=``/``progress=``/
+        ``stats_out=`` to :func:`run_sweep`.  An already-open
+        :class:`ResultCache` passes through unwrapped so its hit/miss
+        counters stay visible to the caller.
+        """
+        if isinstance(self.cache_dir, ResultCache):
+            cache: ResultCache | None = self.cache_dir
+        else:
+            cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        return run_sweep(self.tasks, jobs=self.jobs, cache=cache, **telemetry)
 
 
 def parallel_map(

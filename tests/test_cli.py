@@ -259,6 +259,112 @@ class TestCliPolicySweep:
         assert "<cache-dir>/<2-hex-prefix>/<sha256-fingerprint>.json" in out
 
 
+class TestCliRunTelemetry:
+    def test_run_log_records_every_cell(self, swf_path, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        argv = [
+            "simulate", str(swf_path),
+            "--max-jobs", "150",
+            "--policy", "fcfs,sjf",
+            "--run-log", str(log),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert f"logged 2 run record(s) to {log}" in out
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert [r["label"] for r in records] == ["fcfs", "sjf"]
+        assert all(r["fingerprint"] and not r["cached"] for r in records)
+
+    def test_run_log_does_not_change_tables(self, swf_path, tmp_path, capsys):
+        argv = ["simulate", str(swf_path), "--max-jobs", "150",
+                "--policy", "fcfs,sjf"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--run-log", str(tmp_path / "runs.jsonl")]) == 0
+        logged = capsys.readouterr().out
+        assert logged.split("logged")[0] == plain
+
+    def test_progress_jsonl_events_on_stderr(self, swf_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "150",
+                "--policy", "fcfs,sjf",
+                "--progress", "jsonl",
+            ]
+        ) == 0
+        events = [
+            json.loads(line) for line in capsys.readouterr().err.splitlines()
+        ]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start"
+        assert kinds.count("task_done") == 2
+        assert kinds[-1] == "sweep_end"
+
+    def test_telemetry_conflicts_with_obs_flags(self, swf_path, tmp_path, capsys):
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "50",
+                "--profile",
+                "--run-log", str(tmp_path / "runs.jsonl"),
+            ]
+        ) == 2
+        assert "observe the sweep runner" in capsys.readouterr().err
+
+    def test_report_renders_registry_aggregates(self, swf_path, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "150",
+                "--policy", "fcfs,sjf,f1",
+                "--run-log", str(log),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "3 record(s), run registry" in out
+        assert "sweep summary" in out
+        assert "per-worker load" in out
+        assert "trajectory" in out
+
+    def test_report_bench_history_flags_regressions(self, tmp_path, capsys):
+        log = tmp_path / "bench.jsonl"
+        log.write_text(
+            json.dumps({"bench": "b[x]", "wall_seconds": 1.0}) + "\n"
+            + json.dumps({"bench": "b[x]", "wall_seconds": 2.0}) + "\n"
+        )
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "bench history" in out
+        assert "REGRESSED" in out
+        assert "2.00x" in out
+        assert main(["report", str(log), "--fail-on-regression"]) == 1
+        # raising the threshold clears the flag
+        capsys.readouterr()
+        assert main(
+            ["report", str(log), "--fail-on-regression",
+             "--regression-factor", "2.5"]
+        ) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_report_rejects_bad_inputs(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+        alien = tmp_path / "alien.jsonl"
+        alien.write_text(json.dumps({"something": "else"}) + "\n")
+        assert main(["report", str(alien)]) == 2
+        assert "neither" in capsys.readouterr().err
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def study(self):

@@ -14,6 +14,7 @@ Three layers of coverage:
 
 import json
 import math
+import re
 
 import numpy as np
 import pytest
@@ -150,6 +151,36 @@ class TestTracers:
         t.to_jsonl(path)
         assert read_jsonl(path) == t.events
 
+    def test_close_flushes_non_owned_stream(self, tmp_path):
+        """Regression: caller-supplied handles must be flushed on close.
+
+        close() used to do nothing for non-owned files, so tail events
+        could sit in Python's write buffer until the caller remembered to
+        flush — here the handle is deliberately left unflushed.
+        """
+        path = tmp_path / "events.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            t = JsonlTracer(fh)
+            t.emit(ev.SUBMIT, 1.0, 0, cores=2)
+            t.close()
+            # flushed to disk while the caller's handle is still open...
+            assert [r["kind"] for r in read_jsonl(path)] == ["submit"]
+            # ...and the caller's handle was NOT closed
+            assert not fh.closed
+        assert fh.closed
+
+    def test_close_is_idempotent_either_ownership(self, tmp_path):
+        owned = JsonlTracer(tmp_path / "owned.jsonl")
+        owned.emit(ev.SUBMIT, 1.0, 0)
+        owned.close()
+        owned.close()  # second close: no error
+
+        with open(tmp_path / "foreign.jsonl", "w", encoding="utf-8") as fh:
+            t = JsonlTracer(fh)
+            t.close()
+            t.close()
+        t.close()  # even after the caller closed their own stream
+
 
 # -------------------------------------------------------------------- metrics
 class TestMetrics:
@@ -240,6 +271,74 @@ class TestMetrics:
         payload = json.loads(m.to_json())
         assert payload["histograms"]["empty"]["min"] is None
         json.dumps(payload, allow_nan=False)  # must not raise
+
+    def test_prometheus_sanitizes_metric_names(self):
+        m = Metrics()
+        m.counter("sim.jobs/started-total").inc()
+        m.gauge("0depth").set(1)
+        text = m.to_prometheus()
+        assert "sim_jobs_started_total 1.0" in text
+        assert "# TYPE sim_jobs_started_total counter" in text
+        assert "_0depth 1.0" in text
+        # every exposed name obeys the exposition grammar
+        for line in text.splitlines():
+            if line.startswith("#"):
+                name = line.split()[2]
+            else:
+                name = line.split("{")[0].split()[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), line
+
+    def test_prometheus_buckets_are_cumulative(self):
+        m = Metrics()
+        h = m.histogram("wait", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.6, 5.0, 50.0, 500.0):
+            h.observe(v)
+        text = m.to_prometheus()
+        # raw per-bucket counts are [2, 1, 1, 1]; exported ones cumulate
+        assert 'wait_bucket{le="1.0"} 2' in text
+        assert 'wait_bucket{le="10.0"} 3' in text
+        assert 'wait_bucket{le="100.0"} 4' in text
+        assert 'wait_bucket{le="+Inf"} 5' in text
+        # the +Inf bucket always equals the total observation count
+        assert "wait_count 5" in text
+        cum = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("wait_bucket")
+        ]
+        assert cum == sorted(cum)
+
+    def test_prometheus_infinite_bounds_format(self):
+        m = Metrics()
+        h = m.histogram("x", bounds=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(math.inf)
+        text = m.to_prometheus()
+        assert 'x_bucket{le="+Inf"} 2' in text
+        assert "x_sum +Inf" in text
+
+    def test_approx_quantile_edge_cases(self):
+        empty = Histogram("e", bounds=(1.0, 10.0))
+        assert math.isnan(empty.approx_quantile(0.0))
+        assert math.isnan(empty.approx_quantile(1.0))
+
+        single = Histogram("s", bounds=(1.0, 10.0))
+        single.observe(5.0)
+        # one observation: every quantile lands in its bucket
+        assert single.approx_quantile(0.0) == 10.0
+        assert single.approx_quantile(0.5) == 10.0
+        assert single.approx_quantile(1.0) == 10.0
+
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5000.0)  # overflow bucket: estimate falls back to max
+        assert h.approx_quantile(0.0) == 1.0
+        assert h.approx_quantile(1.0) == 5000.0
+
+        with pytest.raises(ValueError):
+            h.approx_quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.approx_quantile(1.1)
 
 
 # ------------------------------------------------------------------ profiling

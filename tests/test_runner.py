@@ -202,6 +202,34 @@ class TestRunSweep:
         assert [r.label for r in results] == ["fcfs", "sjf", "f1"]
         assert [r.cached for r in results] == [False, True, False]
 
+    def test_observed_sweep_bit_identical_to_unobserved_serial(self, tmp_path):
+        """RunRegistry + ProgressReporter attached change nothing (tentpole)."""
+        from repro.obs import JsonlProgress, RunRegistry
+
+        import io
+
+        w = small_workload()
+        baseline = run_sweep(grid_tasks(w), jobs=1)
+        for jobs in (1, 2):
+            with RunRegistry(tmp_path / f"runs-{jobs}.jsonl") as reg:
+                observed = run_sweep(
+                    grid_tasks(w),
+                    jobs=jobs,
+                    registry=reg,
+                    progress=JsonlProgress(io.StringIO()),
+                )
+            assert [r.label for r in observed] == [r.label for r in baseline]
+            for o, b in zip(observed, baseline):
+                assert o.payload() == b.payload()
+                assert o.fingerprint == b.fingerprint
+
+    def test_wall_and_worker_excluded_from_payload(self):
+        (r,) = run_sweep(grid_tasks(small_workload(), policies=("fcfs",)))
+        assert r.wall_seconds > 0
+        assert r.worker == "MainProcess"
+        assert "wall_seconds" not in r.payload()
+        assert "worker" not in r.payload()
+
 
 class TestResultCache:
     def test_warm_cache_serves_every_cell(self, tmp_path):
@@ -282,6 +310,26 @@ class TestSweepSpec:
         first = spec.run()
         assert [r.label for r in first] == ["fcfs", "sjf"]
         assert all(r.cached for r in spec.run())
+
+    def test_result_cache_instance_passes_through(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        spec = SweepSpec(
+            tasks=grid_tasks(small_workload(), policies=("fcfs",)),
+            cache_dir=cache,
+        )
+        spec.run()
+        # the caller's instance is used directly, so its counters survive
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert all(r.cached for r in spec.run())
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_run_forwards_telemetry(self, tmp_path):
+        from repro.obs import RunRegistry
+
+        spec = SweepSpec(tasks=grid_tasks(small_workload(), policies=("fcfs",)))
+        with RunRegistry(tmp_path / "runs.jsonl") as reg:
+            spec.run(registry=reg)
+        assert reg.count == 1
 
 
 def test_default_jobs_env(monkeypatch):
