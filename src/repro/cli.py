@@ -13,6 +13,8 @@ Subcommands::
     repro report    <runs.jsonl | BENCH_history.jsonl>
                     [--straggler-factor K] [--regression-factor K]
                     [--fail-on-regression]
+    repro fuzz      [--budget N] [--seed S] [--policy P[,P2,...]]
+                    [--capacity C] [--max-jobs N] [--out repro.swf]
     repro study     [--days D] [--seed S] [--report out.md]
 
 Invoke as ``python -m repro.cli ...``.
@@ -469,6 +471,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential-fuzz the engines against the testkit oracle.
+
+    Exit codes: 0 = every case matched the oracle and passed the
+    invariants; 1 = divergence found (a shrunk SWF reproducer is printed,
+    or written to ``--out``); 2 = bad arguments.
+    """
+    from .testkit import FUZZ_POLICIES, fuzz, workload_to_trace
+    from .traces.swf import format_swf_lines
+
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in FUZZ_POLICIES]
+    if not policies or unknown:
+        print(
+            f"--policy needs a comma-separated subset of "
+            f"{sorted(FUZZ_POLICIES)}"
+            + (f"; unknown: {unknown}" if unknown else ""),
+            file=sys.stderr,
+        )
+        return 2
+    if args.budget < 1 or args.capacity < 1 or args.max_jobs < 2:
+        print(
+            "--budget and --capacity must be >= 1, --max-jobs >= 2",
+            file=sys.stderr,
+        )
+        return 2
+    report = fuzz(
+        policies=policies,
+        budget=args.budget,
+        seed=args.seed,
+        capacity=args.capacity,
+        max_jobs=args.max_jobs,
+    )
+    print(report.describe())
+    if report.ok:
+        return 0
+    trace = workload_to_trace(report.divergence.workload, args.capacity)
+    if args.out is not None:
+        try:
+            _ensure_parent(args.out)
+        except ValueError as exc:
+            print(f"invalid reproducer output: {exc}", file=sys.stderr)
+            return 2
+        write_swf(trace, args.out)
+        print(f"wrote shrunk reproducer to {args.out}")
+    else:
+        print("shrunk reproducer (SWF):")
+        print("\n".join(format_swf_lines(trace)))
+    return 1
+
+
 def _cmd_clone(args: argparse.Namespace) -> int:
     from .traces.synth import fit_calibration, generate_trace
 
@@ -650,6 +703,40 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if any trajectory entry is flagged",
     )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the engines against the reference oracle "
+        "(docs/TESTING.md)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="randomized workloads per policy configuration",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--policy",
+        default="fcfs,sjf,easy,conservative",
+        help="comma-separated configurations to fuzz "
+        "(fcfs/sjf = pure queue order, easy = FCFS+EASY backfill, "
+        "sjf-easy = SJF+EASY, conservative = conservative backfill)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=16, help="fuzzed cluster size"
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=12, help="jobs per fuzzed workload"
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the shrunk SWF reproducer here on divergence "
+        "(default: print it)",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser(
         "clone", help="fit a workload model to an SWF trace and regenerate"

@@ -27,6 +27,9 @@ aggregates it (``SweepReport``), streams live progress
 (``TrainingLog``) via the ``callback=`` hooks on :mod:`repro.ml` models.
 
 See ``docs/OBSERVABILITY.md`` for the event schema and worked examples.
+The stream-level audit (:func:`repro.obs.timeline.check_events`) is also
+re-exported by :mod:`repro.testkit.invariants`, which adds result-level
+invariant checks and a differential fuzzer on top — ``docs/TESTING.md``.
 """
 
 from . import events

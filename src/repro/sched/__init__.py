@@ -1,4 +1,13 @@
-"""Discrete-event cluster scheduling simulator (SchedGym equivalent)."""
+"""Discrete-event cluster scheduling simulator (SchedGym equivalent).
+
+The engines here are performance-oriented (event heaps, incremental
+free-core ledgers, vectorized ranking).  Their correctness is guarded by
+:mod:`repro.testkit`: a deliberately simple O(n²) reference scheduler
+(:mod:`repro.testkit.oracle`) that must match these engines **bit for
+bit**, a reusable invariant battery (:mod:`repro.testkit.invariants`), and
+a differential workload fuzzer with reproducer shrinking
+(``python -m repro.cli fuzz``).  See ``docs/TESTING.md``.
+"""
 
 from .backfill import EASY, NO_BACKFILL, BackfillConfig, adaptive_relaxed, relaxed
 from .cluster import Cluster

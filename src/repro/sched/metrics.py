@@ -82,7 +82,10 @@ def compute_metrics(result: SimResult, bound: float = BSLD_BOUND) -> ScheduleMet
     wait = result.wait
     bsld = bounded_slowdown(wait, w.runtime, bound)
     core_seconds = float((w.cores * w.runtime).sum())
-    util = core_seconds / (result.capacity * result.makespan)
+    # a workload of only zero-runtime jobs has zero makespan and consumes
+    # nothing: utilization of an instant is 0, not 0/0
+    denom = result.capacity * result.makespan
+    util = core_seconds / denom if denom > 0 else 0.0
 
     has_promise = np.isfinite(result.promised)
     delays = np.maximum(result.start[has_promise] - result.promised[has_promise], 0.0)

@@ -37,8 +37,14 @@ class Policy:
     ) -> np.ndarray:
         """Indices of queued jobs from highest to lowest priority.
 
-        Ties broken by submission order (FCFS) for determinism.  Extra
-        ``context`` (user ids, usage) is ignored by stateless policies.
+        **Tie-break rule** (load-bearing for determinism; the
+        :mod:`repro.testkit` oracle replicates it exactly): jobs are
+        ranked by ``(score, submit time, queue position)``.  Equal scores
+        fall back to submission order (FCFS), and jobs submitted at the
+        *same instant* fall back to the stable sort's input order — the
+        engines enqueue jobs in workload index order and preserve it, so
+        the final tie-break is ascending job index.  Extra ``context``
+        (user ids, usage) is ignored by stateless policies.
         """
         scores = self.score(submit, cores, walltime, now)
         return np.lexsort((submit, scores))

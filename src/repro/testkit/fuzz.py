@@ -1,0 +1,441 @@
+"""Differential workload fuzzer with reproducer shrinking.
+
+The fuzzer generates seeded randomized workloads — deliberately including
+the adversarial shapes that historically break schedulers: zero-runtime
+jobs, full-cluster jobs, bursts of simultaneous submissions, and exact
+``walltime == runtime`` ties — and demands that the optimized engines
+produce **bit-identical** schedules to the :mod:`repro.testkit.oracle`,
+while also passing the :mod:`repro.testkit.invariants` battery.
+
+On a divergence the failing workload is *shrunk* to a minimal reproducer:
+
+1. **greedy job removal** — repeatedly drop any job whose removal keeps
+   the failure alive;
+2. **value minimization** — per job, try the simplest values (zero
+   runtime, one core, ``walltime = runtime``, submit collapsed onto the
+   previous job's) and keep each simplification that still fails;
+
+alternating until a fixpoint (or the evaluation budget) is reached.  The
+shrunk workload converts to SWF (:func:`workload_to_trace`) so a failure
+found by ``python -m repro.cli fuzz`` is immediately replayable through
+``repro.cli simulate``.
+
+Every case is derived from ``(seed, case_index)``, so a reported failure
+reproduces exactly from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..frame import Frame
+from ..sched import (
+    EASY,
+    NO_BACKFILL,
+    BackfillConfig,
+    SimWorkload,
+    simulate,
+    simulate_conservative,
+)
+from ..sched.engine import SimResult
+from ..traces.schema import Trace
+from ..traces.systems import ResourceKind, SystemKind, SystemSpec
+from . import invariants
+from .oracle import oracle_simulate
+
+__all__ = [
+    "FuzzPolicy",
+    "FUZZ_POLICIES",
+    "Divergence",
+    "FuzzReport",
+    "random_workload",
+    "check_case",
+    "shrink",
+    "fuzz",
+    "workload_to_trace",
+]
+
+#: default cluster size for fuzzed workloads — small enough that blocked
+#: heads and backfill opportunities are frequent
+DEFAULT_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class FuzzPolicy:
+    """One named engine configuration under differential test."""
+
+    name: str
+    policy: str  #: queue policy (oracle must know it: fcfs / sjf)
+    engine: str  #: "easy" or "conservative"
+    backfill: BackfillConfig = EASY
+
+    def run_engine(self, workload: SimWorkload, capacity: int) -> SimResult:
+        """The production engine's schedule for this configuration."""
+        if self.engine == "conservative":
+            return simulate_conservative(workload, capacity, self.policy)
+        return simulate(workload, capacity, self.policy, self.backfill)
+
+    def run_oracle(self, workload: SimWorkload, capacity: int) -> SimResult:
+        """The reference oracle's schedule for this configuration."""
+        return oracle_simulate(
+            workload, capacity, self.policy, self.backfill, engine=self.engine
+        )
+
+    def firm_promises(self, workload: SimWorkload) -> bool:
+        """Whether ``start <= promised`` is an invariant for this run.
+
+        Strict-EASY and no-backfill FCFS promise firmly; SJF may re-rank
+        the head on new arrivals, relaxing trades the promise away by
+        design, and conservative reservations are firm only when walltime
+        estimates are exact (early completions legitimately re-plan).
+        """
+        if self.policy != "fcfs":
+            return False
+        if self.engine == "conservative":
+            return bool(np.all(workload.walltime == workload.runtime))
+        return self.backfill.relax_base == 0.0
+
+
+#: the configurations the differential suite guards (CLI ``--policy`` names)
+FUZZ_POLICIES: dict[str, FuzzPolicy] = {
+    p.name: p
+    for p in (
+        FuzzPolicy("fcfs", "fcfs", "easy", NO_BACKFILL),
+        FuzzPolicy("sjf", "sjf", "easy", NO_BACKFILL),
+        FuzzPolicy("easy", "fcfs", "easy", EASY),
+        FuzzPolicy("sjf-easy", "sjf", "easy", EASY),
+        FuzzPolicy("conservative", "fcfs", "conservative"),
+    )
+}
+
+
+def random_workload(
+    rng: np.random.Generator,
+    capacity: int = DEFAULT_CAPACITY,
+    max_jobs: int = 12,
+) -> SimWorkload:
+    """One randomized small workload, biased toward adversarial shapes.
+
+    All times are integer-valued seconds so a reproducer written as SWF
+    (whose fields are integral) round-trips without loss.
+    """
+    n = int(rng.integers(2, max_jobs + 1))
+    gaps = rng.integers(0, 30, size=n)
+    gaps[rng.random(n) < 0.3] = 0  # simultaneous submits
+    gaps[0] = 0
+    submit = np.cumsum(gaps).astype(float)
+    cores = rng.integers(1, capacity + 1, size=n)
+    cores[rng.random(n) < 0.15] = capacity  # full-cluster jobs
+    cores[rng.random(n) < 0.15] = 1
+    runtime = rng.integers(0, 200, size=n).astype(float)
+    runtime[rng.random(n) < 0.1] = 0.0  # zero-runtime jobs
+    pad = rng.integers(0, 100, size=n).astype(float)
+    pad[rng.random(n) < 0.3] = 0.0  # walltime == runtime ties
+    return SimWorkload(
+        submit=submit,
+        cores=cores.astype(np.int64),
+        runtime=runtime,
+        walltime=runtime + pad,
+        user=np.zeros(n, dtype=np.int64),
+    )
+
+
+def _diff_results(engine: SimResult, oracle: SimResult) -> list[str]:
+    """Bit-exact schedule comparison; non-empty means divergence."""
+    diffs: list[str] = []
+    if not np.array_equal(engine.start, oracle.start):
+        for j in np.flatnonzero(engine.start != oracle.start):
+            diffs.append(
+                f"job {j}: engine start {engine.start[j]} != "
+                f"oracle start {oracle.start[j]}"
+            )
+    if not np.array_equal(engine.promised, oracle.promised, equal_nan=True):
+        both = ~(np.isnan(engine.promised) & np.isnan(oracle.promised))
+        for j in np.flatnonzero(both & (engine.promised != oracle.promised)):
+            diffs.append(
+                f"job {j}: engine promised {engine.promised[j]} != "
+                f"oracle promised {oracle.promised[j]}"
+            )
+    if len(engine.backfilled) and len(oracle.backfilled):
+        if not np.array_equal(engine.backfilled, oracle.backfilled):
+            mism = np.flatnonzero(engine.backfilled != oracle.backfilled)
+            diffs.append(f"backfilled flags differ for jobs {mism.tolist()}")
+    return diffs
+
+
+def check_case(
+    workload: SimWorkload, capacity: int, policy: FuzzPolicy
+) -> list[str]:
+    """All findings for one (workload, configuration) case.
+
+    Combines the engine-vs-oracle differential with the invariant battery
+    on *both* schedules — a bug in the oracle itself surfaces as an
+    ``oracle:``-prefixed invariant violation rather than silently blessing
+    a matching engine bug.
+    """
+    engine_res = policy.run_engine(workload, capacity)
+    oracle_res = policy.run_oracle(workload, capacity)
+    firm = policy.firm_promises(workload)
+    findings = _diff_results(engine_res, oracle_res)
+    findings += [
+        f"engine: {v}"
+        for v in invariants.check_result(engine_res, firm_promises=firm)
+    ]
+    findings += [
+        f"oracle: {v}"
+        for v in invariants.check_result(oracle_res, firm_promises=firm)
+    ]
+    return findings
+
+
+# ----------------------------------------------------------------------
+# shrinking
+
+
+def _without(workload: SimWorkload, index: int) -> SimWorkload:
+    """The workload with job ``index`` removed."""
+    keep = np.arange(workload.n) != index
+    return SimWorkload(
+        submit=workload.submit[keep],
+        cores=workload.cores[keep],
+        runtime=workload.runtime[keep],
+        walltime=workload.walltime[keep],
+        user=workload.user[keep],
+        status=workload.status[keep],
+    )
+
+
+def _with_field(workload: SimWorkload, field: str, index: int, value) -> SimWorkload:
+    """The workload with one field of one job replaced."""
+    arrays = {
+        name: getattr(workload, name).copy()
+        for name in ("submit", "cores", "runtime", "walltime", "user", "status")
+    }
+    arrays[field][index] = value
+    return SimWorkload(**arrays)
+
+
+def _simplifications(
+    workload: SimWorkload, index: int
+) -> Iterable[SimWorkload]:
+    """Candidate one-field simplifications of job ``index``, simplest first."""
+    if workload.runtime[index] != 0.0:
+        yield _with_field(workload, "runtime", index, 0.0)
+    if workload.cores[index] != 1:
+        yield _with_field(workload, "cores", index, 1)
+    if workload.walltime[index] != workload.runtime[index]:
+        yield _with_field(
+            workload, "walltime", index, workload.runtime[index]
+        )
+    earlier = 0.0 if index == 0 else workload.submit[index - 1]
+    if workload.submit[index] != earlier:
+        yield _with_field(workload, "submit", index, earlier)
+
+
+def shrink(
+    workload: SimWorkload,
+    fails: Callable[[SimWorkload], bool],
+    max_evals: int = 3000,
+) -> tuple[SimWorkload, int]:
+    """Minimize a failing workload; returns ``(shrunk, evaluations used)``.
+
+    Alternates greedy job removal with per-job value minimization until a
+    full pass changes nothing (or the evaluation budget runs out).  The
+    returned workload still satisfies ``fails``.
+    """
+    evals = 0
+
+    def still_fails(candidate: SimWorkload) -> bool:
+        nonlocal evals
+        evals += 1
+        try:
+            return bool(fails(candidate))
+        except Exception:
+            # a candidate that crashes an engine is as much a reproducer
+            # as one that diverges — keep it
+            return True
+
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        # greedy removal (backwards, so surviving indices stay valid)
+        i = workload.n - 1
+        while i >= 0 and workload.n > 1 and evals < max_evals:
+            candidate = _without(workload, i)
+            if still_fails(candidate):
+                workload = candidate
+                progress = True
+            i -= 1
+        # per-job, per-field value minimization
+        for i in range(workload.n):
+            for candidate in _simplifications(workload, i):
+                if evals >= max_evals:
+                    break
+                if still_fails(candidate):
+                    workload = candidate
+                    progress = True
+    return workload, evals
+
+
+# ----------------------------------------------------------------------
+# the campaign
+
+
+@dataclass
+class Divergence:
+    """A confirmed engine-vs-oracle or invariant failure, minimized."""
+
+    policy: str
+    seed: int
+    case_index: int
+    findings: list[str]  #: findings on the original failing workload
+    workload: SimWorkload  #: shrunk reproducer (still failing)
+    original_n: int
+    shrink_evals: int
+
+    def describe(self) -> str:
+        lines = [
+            f"divergence in policy {self.policy!r} "
+            f"(seed {self.seed}, case {self.case_index}): "
+            f"shrunk {self.original_n} -> {self.workload.n} job(s) "
+            f"in {self.shrink_evals} evaluation(s)",
+        ]
+        lines += [f"  - {f}" for f in self.findings[:8]]
+        if len(self.findings) > 8:
+            lines.append(f"  ... and {len(self.findings) - 8} more")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    budget: int
+    seed: int
+    capacity: int
+    policies: tuple[str, ...]
+    cases: int  #: workloads generated
+    runs: int  #: engine-vs-oracle comparisons executed
+    divergence: Divergence | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> str:
+        head = (
+            f"fuzz: {self.cases} workload(s) x {len(self.policies)} "
+            f"policy configuration(s) = {self.runs} differential run(s) "
+            f"(seed {self.seed}, capacity {self.capacity})"
+        )
+        if self.ok:
+            return f"{head}\nok: engines match the oracle on every case"
+        return f"{head}\n{self.divergence.describe()}"
+
+
+def fuzz(
+    policies: Iterable[str] = ("fcfs", "sjf", "easy", "conservative"),
+    budget: int = 200,
+    seed: int = 0,
+    capacity: int = DEFAULT_CAPACITY,
+    max_jobs: int = 12,
+    shrink_evals: int = 3000,
+) -> FuzzReport:
+    """Run a differential campaign: ``budget`` workloads per policy.
+
+    Stops (and shrinks) at the first failing case; a clean report means
+    every generated workload scheduled bit-identically on engine and
+    oracle and passed every invariant, for every named configuration.
+    """
+    names = tuple(policies)
+    unknown = [p for p in names if p not in FUZZ_POLICIES]
+    if unknown:
+        raise KeyError(
+            f"unknown fuzz policies {unknown}; available: {sorted(FUZZ_POLICIES)}"
+        )
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    cases = runs = 0
+    for case_index in range(budget):
+        rng = np.random.default_rng((seed, case_index))
+        workload = random_workload(rng, capacity=capacity, max_jobs=max_jobs)
+        cases += 1
+        for name in names:
+            policy = FUZZ_POLICIES[name]
+            runs += 1
+            findings = check_case(workload, capacity, policy)
+            if not findings:
+                continue
+            shrunk, evals = shrink(
+                workload,
+                lambda w: bool(check_case(w, capacity, policy)),
+                max_evals=shrink_evals,
+            )
+            return FuzzReport(
+                budget=budget,
+                seed=seed,
+                capacity=capacity,
+                policies=names,
+                cases=cases,
+                runs=runs,
+                divergence=Divergence(
+                    policy=name,
+                    seed=seed,
+                    case_index=case_index,
+                    findings=findings,
+                    workload=shrunk,
+                    original_n=workload.n,
+                    shrink_evals=evals,
+                ),
+            )
+    return FuzzReport(
+        budget=budget,
+        seed=seed,
+        capacity=capacity,
+        policies=names,
+        cases=cases,
+        runs=runs,
+    )
+
+
+def workload_to_trace(
+    workload: SimWorkload, capacity: int, name: str = "fuzz-reproducer"
+) -> Trace:
+    """Wrap a fuzzed workload as a :class:`Trace` for SWF export.
+
+    ``repro.cli fuzz`` writes the shrunk reproducer this way so it can be
+    replayed with ``repro.cli simulate``.  Fuzzed times are integral, so
+    the SWF integer fields lose nothing (a zero walltime becomes SWF's
+    ``-1`` missing marker; reading it back falls back to the zero runtime,
+    which is equivalent under the ``walltime >= runtime`` clamp).
+    """
+    n = workload.n
+    frame = Frame(
+        {
+            "job_id": np.arange(n, dtype=np.int64),
+            "user_id": workload.user.astype(np.int64),
+            "submit_time": workload.submit.astype(float),
+            "wait_time": np.zeros(n),
+            "runtime": workload.runtime.astype(float),
+            "cores": workload.cores.astype(np.int64),
+            "req_walltime": workload.walltime.astype(float),
+            "status": workload.status.astype(np.int64),
+        }
+    )
+    system = SystemSpec(
+        name=name,
+        affiliation="repro.testkit",
+        years="",
+        job_count=n,
+        nodes=capacity,
+        cores=capacity,
+        gpus=0,
+        kind=SystemKind.HPC,
+        resource=ResourceKind.CPU,
+    )
+    return Trace(
+        system=system, jobs=frame, meta={"source": "repro.testkit.fuzz"}
+    )

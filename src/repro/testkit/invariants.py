@@ -1,0 +1,165 @@
+"""Reusable scheduling-invariant checks.
+
+Every checker takes a finished :class:`~repro.sched.SimResult` (from the
+production engines *or* the :mod:`repro.testkit.oracle`) and returns a list
+of human-readable violation strings — empty means clean.  The same
+functions back the hypothesis property suite
+(``tests/test_sim_invariants.py``), the differential fuzzer
+(:mod:`repro.testkit.fuzz`) and ad-hoc debugging, so a new invariant added
+here immediately guards every path.
+
+Event *streams* have their own audit — :func:`repro.obs.check_events`
+replays the free-core ledger from a captured trace — and it is re-exported
+here as :func:`check_events` so test code has one import for both result-
+and stream-level checking.
+
+The invariants:
+
+* :func:`check_capacity` — the cluster is never overcommitted at any
+  instant (jobs occupy half-open ``[start, end)`` intervals, so
+  zero-runtime jobs occupy nothing);
+* :func:`check_no_early_start` — no job starts before its submission;
+* :func:`check_all_served` — every job started exactly once and has a
+  finite completion;
+* :func:`check_promises` — no reserved job starts after its first
+  promised start.  An *unconditional* guarantee of strict EASY (a
+  backfilled job may never delay the FCFS head past its reservation) and
+  of conservative backfilling when walltime estimates are exact; under
+  relaxed backfilling or inexact estimates pass ``slack`` / skip it;
+* :func:`check_conservation` — aggregate accounting: non-negative waits,
+  makespan no smaller than its work/critical-path lower bounds, and
+  utilization within ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.timeline import check_events
+from ..sched.engine import SimResult
+
+__all__ = [
+    "max_concurrent_usage",
+    "check_capacity",
+    "check_no_early_start",
+    "check_all_served",
+    "check_promises",
+    "check_conservation",
+    "check_result",
+    "check_events",
+]
+
+
+def max_concurrent_usage(
+    start: np.ndarray, runtime: np.ndarray, cores: np.ndarray
+) -> int:
+    """Peak simultaneous core allocation via an event sweep.
+
+    Releases at an instant are processed before allocations at the same
+    instant (half-open job intervals), so back-to-back jobs on a full
+    cluster do not double-count.
+    """
+    if len(start) == 0:
+        return 0
+    times = np.concatenate([start, start + runtime])
+    deltas = np.concatenate([cores, -cores]).astype(float)
+    order = np.argsort(times + 1e-9 * (deltas > 0), kind="stable")
+    return int(np.cumsum(deltas[order]).max())
+
+
+def check_capacity(result: SimResult) -> list[str]:
+    """Capacity is never exceeded at any instant."""
+    w = result.workload
+    peak = max_concurrent_usage(result.start, w.runtime, w.cores)
+    if peak > result.capacity:
+        return [
+            f"capacity overcommitted: peak {peak} cores > {result.capacity}"
+        ]
+    return []
+
+
+def check_no_early_start(result: SimResult, tol: float = 1e-9) -> list[str]:
+    """No job starts before it was submitted."""
+    early = np.flatnonzero(result.start < result.workload.submit - tol)
+    return [
+        f"job {j} started at {result.start[j]} before submit "
+        f"{result.workload.submit[j]}"
+        for j in early
+    ]
+
+
+def check_all_served(result: SimResult) -> list[str]:
+    """Every job started (exactly once, by construction) and completes."""
+    violations = []
+    unserved = np.flatnonzero(result.start < 0)
+    if len(unserved):
+        violations.append(f"jobs never started: {unserved.tolist()}")
+    bad_end = np.flatnonzero(~np.isfinite(result.end))
+    if len(bad_end):
+        violations.append(f"jobs with non-finite end: {bad_end.tolist()}")
+    return violations
+
+
+def check_promises(
+    result: SimResult, slack: float = 0.0, tol: float = 1e-6
+) -> list[str]:
+    """No promised job starts more than ``slack`` after its reservation.
+
+    ``slack=0`` is the strict-EASY / exact-estimate-conservative guarantee:
+    the head of the queue is never delayed past its promised shadow time
+    by a backfilled job.
+    """
+    has_promise = np.isfinite(result.promised)
+    late = np.flatnonzero(
+        has_promise
+        & (result.start > result.promised + slack + tol)
+    )
+    return [
+        f"job {j} promised {result.promised[j]} but started {result.start[j]}"
+        for j in late
+    ]
+
+
+def check_conservation(result: SimResult, tol: float = 1e-6) -> list[str]:
+    """Aggregate accounting: waits, makespan lower bounds, utilization."""
+    w = result.workload
+    violations = []
+    if np.any(result.wait < -tol):
+        violations.append("negative wait times")
+    work_bound = float((w.cores * w.runtime).sum()) / result.capacity
+    critical_path = float(w.runtime.max())
+    lower = max(work_bound, critical_path)
+    if result.makespan < lower - tol:
+        violations.append(
+            f"makespan {result.makespan} below lower bound {lower}"
+        )
+    if result.makespan > 0:
+        util = float((w.cores * w.runtime).sum()) / (
+            result.capacity * result.makespan
+        )
+        if not 0.0 <= util <= 1.0 + tol:
+            violations.append(f"utilization {util} outside [0, 1]")
+    return violations
+
+
+def check_result(
+    result: SimResult,
+    firm_promises: bool = False,
+    promise_slack: float = 0.0,
+) -> list[str]:
+    """Run the full invariant battery on one result.
+
+    ``firm_promises`` additionally enforces :func:`check_promises` — pass
+    it for strict EASY runs, or for conservative runs whose walltime
+    estimates are exact (overestimated walltimes legitimately re-plan on
+    early completions, so firmness is not an invariant there).
+    """
+    violations = (
+        check_capacity(result)
+        + check_no_early_start(result)
+        + check_all_served(result)
+        + check_conservation(result)
+    )
+    if firm_promises:
+        violations += check_promises(result, slack=promise_slack)
+    return violations

@@ -7,6 +7,10 @@ project's dependency set, so the guard is a plain ``SIGALRM`` fixture:
 
 * ``REPRO_TEST_TIMEOUT`` (seconds, default 300) bounds every test;
   ``0`` disables the guard entirely;
+* a single test may override its own budget with
+  ``@pytest.mark.timeout_s(N)`` (e.g. a slow differential-fuzz test) so
+  one outlier never forces a global ``REPRO_TEST_TIMEOUT`` bump; the
+  ``REPRO_TEST_TIMEOUT=0`` kill-switch still wins;
 * only armed on Unix in the main thread (``signal.alarm`` is a no-op
   requirement everywhere pytest runs tests elsewhere);
 * nested alarms are not supported — the fixture restores the previous
@@ -24,16 +28,34 @@ import pytest
 _DEFAULT_TIMEOUT = 300
 
 
-def _timeout_seconds() -> int:
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout_s(seconds): per-test wall-clock limit overriding the "
+        "REPRO_TEST_TIMEOUT default (REPRO_TEST_TIMEOUT=0 disables all "
+        "timeouts, including marked ones)",
+    )
+
+
+def _timeout_seconds(request) -> int:
     try:
-        return int(os.environ.get("REPRO_TEST_TIMEOUT", str(_DEFAULT_TIMEOUT)))
+        env = int(os.environ.get("REPRO_TEST_TIMEOUT", str(_DEFAULT_TIMEOUT)))
     except ValueError:
-        return _DEFAULT_TIMEOUT
+        env = _DEFAULT_TIMEOUT
+    if env <= 0:
+        return 0  # global kill-switch
+    marker = request.node.get_closest_marker("timeout_s")
+    if marker is not None and marker.args:
+        try:
+            return max(int(marker.args[0]), 0)
+        except (TypeError, ValueError):
+            return env
+    return env
 
 
 @pytest.fixture(autouse=True)
 def _per_test_timeout(request):
-    seconds = _timeout_seconds()
+    seconds = _timeout_seconds(request)
     if (
         seconds <= 0
         or not hasattr(signal, "SIGALRM")
@@ -45,7 +67,8 @@ def _per_test_timeout(request):
     def _on_alarm(signum, frame):
         raise TimeoutError(
             f"test exceeded {seconds}s wall-clock limit "
-            f"(REPRO_TEST_TIMEOUT={seconds}): {request.node.nodeid}"
+            f"(REPRO_TEST_TIMEOUT / @pytest.mark.timeout_s): "
+            f"{request.node.nodeid}"
         )
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

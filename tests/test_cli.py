@@ -365,6 +365,90 @@ class TestCliRunTelemetry:
         assert "neither" in capsys.readouterr().err
 
 
+class TestCliFuzz:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--budget", "25", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "ok: engines match the oracle" in out
+        assert "25 workload(s)" in out
+
+    def test_policy_subset(self, capsys):
+        assert main(
+            ["fuzz", "--budget", "10", "--policy", "easy,conservative"]
+        ) == 0
+        assert "2 policy configuration(s)" in capsys.readouterr().out
+
+    def test_divergence_exits_one_and_writes_reproducer(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.sched.cluster import Cluster
+
+        real = Cluster.reservation
+
+        def buggy(self, cores, now):
+            shadow, extra = real(self, cores, now)
+            return shadow, extra + 1
+
+        monkeypatch.setattr(Cluster, "reservation", buggy)
+        out = tmp_path / "repro.swf"
+        assert main(
+            ["fuzz", "--budget", "50", "--seed", "0",
+             "--policy", "easy", "--out", str(out)]
+        ) == 1
+        text = capsys.readouterr().out
+        assert "divergence in policy 'easy'" in text
+        assert f"wrote shrunk reproducer to {out}" in text
+        # the reproducer is a loadable SWF replayable through simulate
+        monkeypatch.setattr(Cluster, "reservation", real)
+        capsys.readouterr()
+        assert main(["simulate", str(out)]) == 0
+
+    def test_divergence_without_out_prints_swf(self, monkeypatch, capsys):
+        from repro.sched.cluster import Cluster
+
+        real = Cluster.reservation
+        monkeypatch.setattr(
+            Cluster,
+            "reservation",
+            lambda self, cores, now: (
+                real(self, cores, now)[0],
+                real(self, cores, now)[1] + 1,
+            ),
+        )
+        assert main(
+            ["fuzz", "--budget", "50", "--seed", "0", "--policy", "easy"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "shrunk reproducer (SWF):" in out
+        assert "; MaxProcs: 16" in out
+
+    def test_unknown_policy_exits_two(self, capsys):
+        assert main(["fuzz", "--policy", "bogus"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_bad_budget_exits_two(self, capsys):
+        assert main(["fuzz", "--budget", "0"]) == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_out_parent_is_file_exits_two(self, tmp_path, monkeypatch, capsys):
+        from repro.sched.cluster import Cluster
+
+        real = Cluster.reservation
+
+        def buggy(self, cores, now):
+            shadow, extra = real(self, cores, now)
+            return shadow, extra + 1
+
+        monkeypatch.setattr(Cluster, "reservation", buggy)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(
+            ["fuzz", "--budget", "50", "--policy", "easy",
+             "--out", str(blocker / "repro.swf")]
+        ) == 2
+        assert "invalid reproducer output" in capsys.readouterr().err
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def study(self):

@@ -1,0 +1,69 @@
+"""Golden-trace regression tests for the experiment pipelines.
+
+Small, fast, seeded runs of the ``table2`` and ``ext_resilience``
+experiments are frozen as JSON under ``tests/goldens/``; the tests compare
+the freshly computed :meth:`ExperimentResult.to_json` output to the frozen
+file **byte for byte**.  Any change — a reordered dict key, a float that
+moved in the 15th decimal, a renamed metric — fails loudly, which is the
+point: the synthetic-trace generator, both scheduling engines, the fault
+injector and the metrics layer all feed these numbers, so an unintended
+change anywhere upstream surfaces here.
+
+When a change is *intended*, regenerate with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens.py
+
+and commit the updated files alongside the code change (the diff then
+documents exactly which numbers moved).  See ``docs/TESTING.md``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ext_resilience, table2
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: deliberately small parameters: ~1s per experiment, yet every layer
+#: (synth traces, EASY + relaxed + adaptive engines, fault injection,
+#: metrics) is exercised.  Changing these invalidates the goldens.
+GOLDEN_PARAMS = {"days": 2.0, "seed": 0, "max_jobs": 600}
+
+CASES = {
+    "table2": lambda: table2.run(**GOLDEN_PARAMS),
+    "ext_resilience": lambda: ext_resilience.run(**GOLDEN_PARAMS),
+}
+
+
+def _should_update() -> bool:
+    return os.environ.get("REPRO_UPDATE_GOLDENS", "") not in ("", "0")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.timeout_s(120)
+def test_golden(name):
+    got = CASES[name]().to_json() + "\n"
+    path = GOLDEN_DIR / f"{name}.json"
+    if _should_update():
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(got)
+        pytest.skip(f"regenerated {path}")
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing; generate with "
+            "REPRO_UPDATE_GOLDENS=1 (see docs/TESTING.md)"
+        )
+    want = path.read_text()
+    assert got == want, (
+        f"{name} output drifted from {path}; if intended, regenerate with "
+        "REPRO_UPDATE_GOLDENS=1 and commit the diff"
+    )
+
+
+def test_goldens_regenerate_byte_identically(tmp_path, monkeypatch):
+    """The regeneration path itself is deterministic (same bytes twice)."""
+    a = CASES["table2"]().to_json()
+    b = CASES["table2"]().to_json()
+    assert a == b

@@ -1,13 +1,18 @@
 """Property-based invariants of the scheduling simulator.
 
 Random workloads (hypothesis-generated) must satisfy, for every engine and
-backfilling mode:
+backfilling mode, the shared :mod:`repro.testkit.invariants` battery:
 
 * capacity is never overcommitted at any instant;
 * no job starts before submission;
 * every job runs exactly once for exactly its runtime;
 * strict EASY (relax=0) never delays a job past its first promised start;
   conservative backfilling is firm when walltime estimates are exact.
+
+On top of the invariant checks, the EASY/no-backfill/relaxed/adaptive and
+conservative engines are differentially compared against the
+:mod:`repro.testkit.oracle` reference scheduler — start times must match
+bit for bit (see ``docs/TESTING.md``).
 """
 
 import numpy as np
@@ -27,6 +32,14 @@ from repro.sched import (
     simulate_conservative,
     simulate_with_faults,
 )
+from repro.testkit import (
+    check_case,
+    check_promises,
+    check_result,
+    max_concurrent_usage,
+    oracle_simulate,
+)
+from repro.testkit.fuzz import FUZZ_POLICIES
 
 CAPACITY = 16
 
@@ -56,13 +69,15 @@ def workloads(draw):
     )
 
 
-def max_concurrent_usage(start: np.ndarray, runtime: np.ndarray, cores: np.ndarray) -> int:
-    """Peak simultaneous core allocation via an event sweep."""
-    times = np.concatenate([start, start + runtime])
-    deltas = np.concatenate([cores, -cores]).astype(float)
-    # releases at the same instant happen before allocations
-    order = np.argsort(times + 1e-9 * (deltas > 0), kind="stable")
-    return int(np.cumsum(deltas[order]).max())
+def _exact_estimates(workload: SimWorkload) -> SimWorkload:
+    """The same workload with walltime == runtime (no estimate slack)."""
+    return SimWorkload(
+        submit=workload.submit,
+        cores=workload.cores,
+        runtime=workload.runtime,
+        walltime=workload.runtime,
+        user=workload.user,
+    )
 
 
 BACKFILLS = [NO_BACKFILL, EASY, relaxed(0.2), adaptive_relaxed(0.2)]
@@ -71,46 +86,35 @@ BACKFILLS = [NO_BACKFILL, EASY, relaxed(0.2), adaptive_relaxed(0.2)]
 class TestEngineInvariants:
     @given(workloads())
     @settings(max_examples=60, deadline=None)
-    def test_no_overcommit_any_mode(self, workload):
+    def test_shared_battery_every_mode(self, workload):
+        """Capacity/early-start/served/conservation hold in every mode."""
         for bf in BACKFILLS:
             res = simulate(workload, CAPACITY, "fcfs", bf)
-            peak = max_concurrent_usage(
-                res.start, workload.runtime, workload.cores
-            )
-            assert peak <= CAPACITY
-
-    @given(workloads())
-    @settings(max_examples=60, deadline=None)
-    def test_no_early_starts(self, workload):
-        for bf in BACKFILLS:
-            res = simulate(workload, CAPACITY, "fcfs", bf)
-            assert np.all(res.start >= workload.submit - 1e-9)
+            assert check_result(res) == []
 
     @given(workloads())
     @settings(max_examples=30, deadline=None)
     def test_strict_easy_honors_promises(self, workload):
         res = simulate(workload, CAPACITY, "fcfs", EASY)
-        has_promise = np.isfinite(res.promised)
-        # EASY guarantee: a reserved head never starts after its promise
-        assert np.all(
-            res.start[has_promise] <= res.promised[has_promise] + 1e-6
-        )
+        # EASY guarantee: a reserved head never starts after its promise,
+        # i.e. no backfilled job ever delays the FCFS head
+        assert check_result(res, firm_promises=True) == []
 
     @given(workloads())
     @settings(max_examples=30, deadline=None)
     def test_sjf_also_safe(self, workload):
         res = simulate(workload, CAPACITY, "sjf", EASY)
-        peak = max_concurrent_usage(res.start, workload.runtime, workload.cores)
-        assert peak <= CAPACITY
+        assert check_result(res) == []
 
 
 class TestConservativeInvariants:
+    """The conservative engine through the same shared battery."""
+
     @given(workloads())
     @settings(max_examples=40, deadline=None)
-    def test_no_overcommit(self, workload):
+    def test_shared_battery(self, workload):
         res = simulate_conservative(workload, CAPACITY)
-        peak = max_concurrent_usage(res.start, workload.runtime, workload.cores)
-        assert peak <= CAPACITY
+        assert check_result(res) == []
 
     @given(workloads())
     @settings(max_examples=40, deadline=None)
@@ -119,24 +123,47 @@ class TestConservativeInvariants:
         # so conservative reservations are firm.  (With overestimated
         # walltimes, early completions legitimately re-order the plan in
         # priority order, so firmness is NOT an invariant there.)
-        exact = SimWorkload(
-            submit=workload.submit,
-            cores=workload.cores,
-            runtime=workload.runtime,
-            walltime=workload.runtime,
-            user=workload.user,
-        )
-        res = simulate_conservative(exact, CAPACITY)
-        has_promise = np.isfinite(res.promised)
-        assert np.all(
-            res.start[has_promise] <= res.promised[has_promise] + 1e-6
-        )
+        res = simulate_conservative(_exact_estimates(workload), CAPACITY)
+        assert check_promises(res) == []
 
     @given(workloads())
-    @settings(max_examples=40, deadline=None)
-    def test_no_early_starts(self, workload):
-        res = simulate_conservative(workload, CAPACITY)
-        assert np.all(res.start >= workload.submit - 1e-9)
+    @settings(max_examples=30, deadline=None)
+    def test_sjf_conservative_safe(self, workload):
+        res = simulate_conservative(workload, CAPACITY, "sjf")
+        assert check_result(res) == []
+
+
+class TestDifferentialOracle:
+    """Engines must match the testkit reference scheduler bit for bit."""
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_easy_engine_matches_oracle(self, workload):
+        for bf in BACKFILLS:
+            engine = simulate(workload, CAPACITY, "fcfs", bf)
+            oracle = oracle_simulate(workload, CAPACITY, "fcfs", bf)
+            assert np.array_equal(engine.start, oracle.start)
+            assert np.array_equal(
+                engine.promised, oracle.promised, equal_nan=True
+            )
+            assert np.array_equal(engine.backfilled, oracle.backfilled)
+
+    @given(workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_conservative_engine_matches_oracle(self, workload):
+        engine = simulate_conservative(workload, CAPACITY)
+        oracle = oracle_simulate(
+            workload, CAPACITY, "fcfs", engine="conservative"
+        )
+        assert np.array_equal(engine.start, oracle.start)
+        assert np.array_equal(engine.promised, oracle.promised, equal_nan=True)
+
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_fuzz_configs_clean(self, workload):
+        """The fuzzer's own check_case finds nothing on healthy engines."""
+        for policy in FUZZ_POLICIES.values():
+            assert check_case(workload, CAPACITY, policy) == []
 
 
 class TestCrossEngineConsistency:
