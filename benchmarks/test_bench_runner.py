@@ -9,7 +9,12 @@ Three claims from the runner's contract are measured on the exact
 * a warm on-disk cache serves the whole sweep at near-zero cost compared
   to recomputing it;
 * parallel and serial sweeps return bit-identical payloads, so the
-  speedup is free of result drift.
+  speedup is free of result drift;
+* the crash-safe watchdog path (process-per-attempt, per-cell deadline
+  polling) costs at most a modest constant factor over the plain pool
+  path, so hardening a long campaign is not a perf decision;
+* a journal replay serves the whole sweep at near-zero cost, mirroring
+  the warm-cache claim for the resume path.
 """
 
 import os
@@ -82,4 +87,57 @@ def test_parallel_speedup_and_identity():
     assert speedup >= 2.0, (
         f"expected >=2x at 4 workers, got {speedup:.2f}x "
         f"(serial {serial_s:.2f}s, parallel {fanned_s:.2f}s)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="overhead comparison needs >= 4 CPUs",
+)
+def test_watchdog_overhead_bounded():
+    """The hardened path must stay within ~3x of the plain pool path.
+
+    Process-per-attempt pays a fork per cell instead of per worker, plus
+    deadline polling — acceptable constant costs for a path whose job is
+    surviving crashed and hung workers, but they must never turn into an
+    asymptotic slowdown.  Payloads stay bit-identical, watchdog or not.
+    """
+    tasks = _tasks()
+    run_sweep(tasks[:2], jobs=2)  # warm the per-process trace cache
+
+    t0 = time.perf_counter()
+    plain = run_sweep(tasks, jobs=4)
+    plain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    hardened = run_sweep(tasks, jobs=4, timeout=600.0, on_error="skip")
+    hardened_s = time.perf_counter() - t0
+
+    assert [r.payload() for r in hardened] == [r.payload() for r in plain]
+    overhead = hardened_s / plain_s
+    assert overhead < 3.0, (
+        f"watchdog path {overhead:.2f}x over plain pool "
+        f"(plain {plain_s:.2f}s, hardened {hardened_s:.2f}s)"
+    )
+
+
+def test_bench_journal_replay(benchmark, tmp_path):
+    """A populated journal must replay the sweep without simulating."""
+    journal = tmp_path / "journal.jsonl"
+    t0 = time.perf_counter()
+    run_sweep(_tasks(), jobs=1, journal=journal)  # interrupted-run stand-in
+    cold = time.perf_counter() - t0
+
+    results = benchmark.pedantic(
+        run_sweep,
+        args=(_tasks(),),
+        kwargs=dict(jobs=1, journal=journal),
+        rounds=3,
+        iterations=1,
+    )
+    assert all(r.cached for r in results), "journal replay recomputed cells"
+    replay = benchmark.stats.stats.mean
+    assert replay < cold / 5, (
+        f"journal replay not near-zero-cost: cold={cold:.2f}s "
+        f"replay={replay:.2f}s"
     )

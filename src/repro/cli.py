@@ -7,6 +7,9 @@ Subcommands::
     repro analyze   <trace.swf> [--report out.md]
     repro simulate  <trace.swf> [--policy P[,P2,...]] [--backfill MODE]
                     [--relax F] [--jobs N] [--cache-dir DIR] [--no-cache]
+                    [--task-timeout S] [--on-error raise|skip|retry]
+                    [--task-retries N] [--retry-backoff S] [--fsync]
+                    [--journal sweep.jsonl] [--resume]
                     [--mtbf-hours H] [--retries N] [--inject-status]
                     [--trace-out events.jsonl] [--metrics-out m.json|m.prom]
                     [--profile] [--run-log runs.jsonl] [--progress MODE] ...
@@ -264,11 +267,38 @@ def _sweep_telemetry(args: argparse.Namespace):
 
 def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfill, faults) -> int:
     """Run one or more policies through the parallel sweep runner."""
-    from .runner import ResultCache, SimTask, run_sweep
+    from .runner import (
+        FailureReport,
+        ResultCache,
+        RetryPolicy,
+        SimTask,
+        SweepError,
+        SweepJournal,
+        run_sweep,
+    )
 
     cache = None
     if args.cache_dir is not None and not args.no_cache:
-        cache = ResultCache(args.cache_dir)
+        cache = ResultCache(args.cache_dir, fsync=args.fsync)
+    journal = None
+    if args.journal is not None:
+        journal = SweepJournal(_ensure_parent(args.journal), fsync=args.fsync)
+        if not args.resume and journal.completed():
+            print(
+                f"journal {args.journal} already holds completed cells; "
+                "pass --resume to replay them, or remove the file to start "
+                "over",
+                file=sys.stderr,
+            )
+            journal.close()
+            return 2
+    retry = None
+    if args.task_retries is not None:
+        retry = RetryPolicy(
+            max_attempts=args.task_retries, backoff_base=args.retry_backoff
+        )
+    elif args.on_error == "retry":
+        retry = RetryPolicy(backoff_base=args.retry_backoff)
     try:
         registry, progress = _sweep_telemetry(args)
     except ValueError as exc:
@@ -285,16 +315,46 @@ def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfil
         )
         for policy in policies
     ]
+    report = FailureReport()
     try:
         results = run_sweep(
-            tasks, jobs=args.jobs, cache=cache, registry=registry, progress=progress
+            tasks,
+            jobs=args.jobs,
+            cache=cache,
+            registry=registry,
+            progress=progress,
+            timeout=args.task_timeout,
+            on_error=args.on_error,
+            retry=retry,
+            journal=journal,
+            failures_out=report,
         )
+    except SweepError as exc:
+        n_done = sum(r is not None for r in exc.results)
+        print(f"sweep failed: {exc.report.summary()}", file=sys.stderr)
+        print(
+            f"({n_done}/{len(tasks)} cell(s) completed before the abort; "
+            "completed cells are cached/journaled — rerun to resume)",
+            file=sys.stderr,
+        )
+        return 1
     finally:
+        if journal is not None:
+            journal.close()
         if registry is not None:
             registry.close()
         if progress is not None:
             progress.close()
-    if len(results) == 1:
+    failed = {f.label for f in report.failures}
+    if failed:
+        # on_error="skip" leaves None holes; report them once, render the rest
+        print(f"sweep degraded: {report.summary()}", file=sys.stderr)
+    survivors = [cell for cell in results if cell is not None]
+    if not survivors:
+        print("no cells completed", file=sys.stderr)
+        return 1
+    results = survivors
+    if len(results) == 1 and not failed:
         cell = results[0]
         if faults is not None:
             _print_fault_table(
@@ -353,13 +413,24 @@ def _simulate_sweep(args: argparse.Namespace, trace, workload, policies, backfil
             )
         )
     if cache is not None:
+        corrupt = (
+            f", {cache.corrupt} corrupt entr(ies) quarantined"
+            if cache.corrupt
+            else ""
+        )
         print(
             f"(cache {args.cache_dir}: {cache.hits} hit(s), "
-            f"{cache.misses} miss(es))"
+            f"{cache.misses} miss(es){corrupt})"
         )
+    if journal is not None:
+        print(
+            f"(journal {args.journal}: {journal.recorded} cell(s) recorded)"
+        )
+    if report.n_retried:
+        print(f"({report.n_retried} attempt(s) retried)", file=sys.stderr)
     if registry is not None:
         print(f"logged {registry.count} run record(s) to {args.run_log}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -375,6 +446,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print("--task-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.task_retries is not None and args.task_retries < 1:
+        print("--task-retries must be >= 1", file=sys.stderr)
+        return 2
+    if args.retry_backoff < 0:
+        print("--retry-backoff must be >= 0", file=sys.stderr)
+        return 2
+    if args.resume and args.journal is None:
+        print("--resume needs --journal PATH to resume from", file=sys.stderr)
+        return 2
     try:
         faults = _fault_config(args, trace)
     except ValueError as exc:
@@ -382,7 +465,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.profile)
     wants_telemetry = bool(args.run_log) or args.progress != "none"
+    wants_crash_safety = (
+        args.task_timeout is not None
+        or args.on_error != "raise"
+        or args.task_retries is not None
+        or args.journal is not None
+    )
     if wants_obs:
+        if wants_crash_safety:
+            print(
+                "--task-timeout/--on-error/--task-retries/--journal harden "
+                "the sweep runner, which --trace-out/--metrics-out/--profile "
+                "bypass; use one set of flags per invocation",
+                file=sys.stderr,
+            )
+            return 2
         if wants_telemetry:
             print(
                 "--run-log/--progress observe the sweep runner, which "
@@ -604,6 +701,61 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache",
         action="store_true",
         help="ignore --cache-dir: recompute every run",
+    )
+    crash = p.add_argument_group(
+        "crash safety (docs/PARALLELISM.md, 'Crash-safe sweeps')"
+    )
+    crash.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell wall-clock limit; the watchdog kills cells past it "
+        "(a timeout is transient: retried under --on-error retry)",
+    )
+    crash.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "retry"),
+        default="raise",
+        help="terminal cell failures: abort the sweep (raise, default), "
+        "record and keep going (skip), or retry transient failures with "
+        "seeded backoff first (retry)",
+    )
+    crash.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per cell (first try included); implies retries "
+        "for transient failures under any --on-error",
+    )
+    crash.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="base delay before a retry; doubles per attempt with "
+        "deterministic jitter",
+    )
+    crash.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append-only journal of completed cells; an interrupted "
+        "sweep re-run with --resume replays them without recomputing",
+    )
+    crash.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay cells already completed in --journal (bit-identical "
+        "to an uninterrupted run)",
+    )
+    crash.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync cache entries and journal lines to stable storage "
+        "(power-loss durability; default trusts the OS page cache)",
     )
     fault = p.add_argument_group("fault injection (docs/RESILIENCE.md)")
     fault.add_argument(

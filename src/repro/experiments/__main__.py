@@ -66,9 +66,45 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ignore --cache-dir: recompute every cell",
     )
+    crash = parser.add_argument_group(
+        "crash safety (docs/PARALLELISM.md, 'Crash-safe sweeps')"
+    )
+    crash.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell wall-clock limit enforced by the sweep watchdog",
+    )
+    crash.add_argument(
+        "--on-error",
+        choices=("raise", "skip", "retry"),
+        default="raise",
+        help="terminal cell failures: abort (raise), render FAILED rows "
+        "and keep going (skip), or retry transient failures first (retry)",
+    )
+    crash.add_argument(
+        "--task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per cell (first try included)",
+    )
+    crash.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append-only journal of completed cells; rerunning with the "
+        "same journal replays them without recomputing",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if args.task_retries is not None and args.task_retries < 1:
+        parser.error("--task-retries must be >= 1")
 
     if args.experiment == "list":
         for key, (_, desc) in REGISTRY.items():
@@ -99,6 +135,14 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["jobs"] = args.jobs
             if cache is not None and "cache_dir" in params:
                 kwargs["cache_dir"] = cache
+            if args.task_timeout is not None and "timeout" in params:
+                kwargs["timeout"] = args.task_timeout
+            if args.on_error != "raise" and "on_error" in params:
+                kwargs["on_error"] = args.on_error
+            if args.task_retries is not None and "retries" in params:
+                kwargs["retries"] = args.task_retries
+            if args.journal is not None and "journal" in params:
+                kwargs["journal"] = args.journal
             result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)

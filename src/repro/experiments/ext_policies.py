@@ -6,14 +6,25 @@ bounded slowdown, utilization and the backfill rate — context for where
 the paper's FCFS-based use case 2 sits in the policy space.
 
 The policy × system grid runs through :func:`repro.runner.run_sweep`;
-pass ``jobs`` / ``cache_dir`` to parallelize and memoize the cells.
+pass ``jobs`` / ``cache_dir`` to parallelize and memoize the cells, and
+``timeout`` / ``on_error`` / ``retries`` / ``journal`` to harden long
+grids against hung or crashing workers (docs/PARALLELISM.md,
+"Crash-safe sweeps").  Under ``on_error="skip"`` failed cells render as
+``FAILED`` rows instead of aborting the whole grid.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from ..runner import ResultCache, SimTask, WorkloadSpec, run_sweep
+from ..runner import (
+    ResultCache,
+    RetryPolicy,
+    SimTask,
+    SweepJournal,
+    WorkloadSpec,
+    run_sweep,
+)
 from ..sched import EASY
 from ..viz import percent, render_table, seconds
 from .common import DEFAULT_DAYS, DEFAULT_SEED, ExperimentResult
@@ -30,6 +41,10 @@ def run(
     max_jobs: int = 6000,
     jobs: int = 1,
     cache_dir: str | Path | ResultCache | None = None,
+    timeout: float | None = None,
+    on_error: str = "raise",
+    retries: RetryPolicy | int | None = None,
+    journal: SweepJournal | str | Path | None = None,
 ) -> ExperimentResult:
     """Policy x system grid under EASY backfilling."""
     tasks = [
@@ -44,7 +59,19 @@ def run(
         for system in SYSTEMS
         for policy in policies
     ]
-    sweep = {r.label: r for r in run_sweep(tasks, jobs=jobs, cache=cache_dir)}
+    sweep = {
+        r.label: r
+        for r in run_sweep(
+            tasks,
+            jobs=jobs,
+            cache=cache_dir,
+            timeout=timeout,
+            on_error=on_error,
+            retry=retries,
+            journal=journal,
+        )
+        if r is not None
+    }
 
     result = ExperimentResult(
         exp_id="ext_policies",
@@ -56,7 +83,11 @@ def run(
         data[system] = {}
         n_jobs = 0
         for policy in policies:
-            cell = sweep[f"{system}/{policy}"]
+            cell = sweep.get(f"{system}/{policy}")
+            if cell is None:
+                # on_error="skip" left a hole; keep the rest of the grid
+                rows.append([policy, "FAILED", "-", "-", "-"])
+                continue
             metrics = cell.schedule_metrics()
             backfill_rate = cell.summary["backfill_rate"]
             n_jobs = metrics.n_jobs

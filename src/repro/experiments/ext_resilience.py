@@ -114,8 +114,18 @@ def run(
     relax: float = 0.1,
     jobs: int = 1,
     cache_dir: str | Path | ResultCache | None = None,
+    timeout: float | None = None,
+    on_error: str = "raise",
+    retries=None,
+    journal=None,
 ) -> ExperimentResult:
-    """Failure-rate x resilience-policy x backfill-mode sweep."""
+    """Failure-rate x resilience-policy x backfill-mode sweep.
+
+    ``timeout`` / ``on_error`` / ``retries`` / ``journal`` pass straight
+    through to :func:`repro.runner.run_sweep` (docs/PARALLELISM.md,
+    "Crash-safe sweeps"); under ``on_error="skip"`` missing cells render
+    as ``FAILED`` rows.
+    """
     trace = get_traces(days, seed)[system]
     workload = workload_from_trace(trace).slice(max_jobs)
     tasks = build_sweep(
@@ -128,7 +138,17 @@ def run(
         relax=relax,
     )
     sweep = {
-        r.label: r for r in run_sweep(tasks, jobs=jobs, cache=cache_dir)
+        r.label: r
+        for r in run_sweep(
+            tasks,
+            jobs=jobs,
+            cache=cache_dir,
+            timeout=timeout,
+            on_error=on_error,
+            retry=retries,
+            journal=journal,
+        )
+        if r is not None
     }
 
     result = ExperimentResult(
@@ -143,7 +163,12 @@ def run(
         for rname, _attempts, _ckpt in RESILIENCE_POLICIES:
             data[flevel][rname] = {}
             for bname in backfill_names:
-                rm = sweep[f"{flevel}/{rname}/{bname}"].resilience_metrics()
+                cell = sweep.get(f"{flevel}/{rname}/{bname}")
+                if cell is None:
+                    # on_error="skip" left a hole; keep the rest of the grid
+                    rows.append([rname, bname, "FAILED", "-", "-", "-", "-"])
+                    continue
+                rm = cell.resilience_metrics()
                 rows.append(
                     [
                         rname,
@@ -179,12 +204,21 @@ def run(
     # headline: does adaptive's edge survive the harshest failure level?
     harsh = FAILURE_LEVELS[-1][0]
     best = data[harsh]["retry+ckpt"]
-    delta = best["adaptive"]["goodput_core_hours"] - best["easy"]["goodput_core_hours"]
-    result.add(
-        f"Under '{harsh}' failures with retry+checkpoint, adaptive-relaxed "
-        f"backfilling changes goodput by {delta:+,.0f} core-h vs EASY "
-        f"(waste {best['adaptive']['wasted_core_hours']:,.0f} vs "
-        f"{best['easy']['wasted_core_hours']:,.0f} core-h)."
-    )
+    if "adaptive" in best and "easy" in best:
+        delta = (
+            best["adaptive"]["goodput_core_hours"]
+            - best["easy"]["goodput_core_hours"]
+        )
+        result.add(
+            f"Under '{harsh}' failures with retry+checkpoint, adaptive-relaxed "
+            f"backfilling changes goodput by {delta:+,.0f} core-h vs EASY "
+            f"(waste {best['adaptive']['wasted_core_hours']:,.0f} vs "
+            f"{best['easy']['wasted_core_hours']:,.0f} core-h)."
+        )
+    else:
+        result.add(
+            f"Headline comparison unavailable: cells for '{harsh}' failures "
+            "with retry+checkpoint failed and were skipped."
+        )
     result.data = data
     return result

@@ -41,8 +41,27 @@ def run(
     max_jobs: int | None = 40_000,
     jobs: int = 1,
     cache_dir: str | Path | ResultCache | None = None,
+    timeout: float | None = None,
+    on_error: str = "raise",
+    retries=None,
+    journal=None,
 ) -> ExperimentResult:
-    """Reproduce Table II: relaxed vs adaptive-relaxed backfilling."""
+    """Reproduce Table II: relaxed vs adaptive-relaxed backfilling.
+
+    ``timeout`` / ``on_error`` / ``retries`` / ``journal`` pass through to
+    both :func:`repro.runner.run_sweep` phases (docs/PARALLELISM.md,
+    "Crash-safe sweeps").  A system whose relaxed run fails under
+    ``on_error="skip"`` is dropped from the adaptive phase (its denominator
+    is unknown) and rendered as a ``FAILED`` row.
+    """
+    sweep_opts = dict(
+        jobs=jobs,
+        cache=cache_dir,
+        timeout=timeout,
+        on_error=on_error,
+        retry=retries,
+        journal=journal,
+    )
     specs = {
         name: WorkloadSpec(system=name, days=days, seed=seed, max_jobs=max_jobs)
         for name in SYSTEMS
@@ -61,11 +80,13 @@ def run(
                 )
                 for name in SYSTEMS
             ],
-            jobs=jobs,
-            cache=cache_dir,
+            **sweep_opts,
         )
+        if r is not None
     }
-    # phase 2: adaptive runs with the known per-system maxima
+    # phase 2: adaptive runs with the known per-system maxima; systems
+    # with no relaxed result have no Eq. (1) denominator and are skipped
+    phase2 = [name for name in SYSTEMS if name in relaxed_results]
     adaptive_results = {
         r.label: r
         for r in run_sweep(
@@ -78,11 +99,11 @@ def run(
                         max_queue_len=relaxed_results[name].max_queue or None,
                     ),
                 )
-                for name in SYSTEMS
+                for name in phase2
             ],
-            jobs=jobs,
-            cache=cache_dir,
+            **sweep_opts,
         )
+        if r is not None
     }
 
     result = ExperimentResult(
@@ -93,6 +114,9 @@ def run(
     rows = []
     data = {}
     for name in SYSTEMS:
+        if name not in relaxed_results or name not in adaptive_results:
+            rows.append([name, "FAILED", "-", "-", "-"])
+            continue
         rel = relaxed_results[name].metrics
         ada = adaptive_results[name].metrics
         imps = _improvements(rel, ada)

@@ -31,11 +31,13 @@ renders it.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
 import sys
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Sequence
@@ -51,6 +53,7 @@ __all__ = [
     "JsonlProgress",
     "trajectory",
     "read_records",
+    "repair_torn_tail",
 ]
 
 
@@ -60,11 +63,16 @@ class RunRecord:
 
     ``seq`` is the completion index within the sweep invocation (cache
     hits are reported first, then computed cells in the order their
-    futures completed); ``worker`` is ``"cache"`` for hits and otherwise
-    the executing process's name (``ForkPoolWorker-N`` for parallel
-    cells, ``MainProcess`` for serial ones).  ``metrics`` carries the
-    cell's result metrics verbatim so a registry can be mined without the
-    result cache at hand.
+    futures completed); ``worker`` is ``"cache"`` for hits, ``"journal"``
+    for cells replayed from a sweep journal, and otherwise the executing
+    process's name.  ``metrics`` carries the cell's result metrics
+    verbatim so a registry can be mined without the result cache at hand.
+
+    ``status``/``attempt`` record the crash-safe runner's view of the
+    cell: ``"ok"`` for a produced result, ``"retried:<kind>"`` for a
+    transient attempt that was re-run, ``"failed:<kind>"`` for a terminal
+    failure (kind is ``crash``/``timeout``/``corrupt``/``error``);
+    ``attempt`` is the 1-based execution attempt the row describes.
     """
 
     fingerprint: str
@@ -78,35 +86,97 @@ class RunRecord:
     code: str
     metrics: dict = field(default_factory=dict)
     ts: float = 0.0
+    status: str = "ok"
+    attempt: int = 1
 
     def to_dict(self) -> dict:
         return asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunRecord":
-        return cls(**{k: payload.get(k) for k in cls.__dataclass_fields__})
+        """Build from a parsed JSONL row; absent keys fall back to field
+        defaults (older registries predate ``status``/``attempt``)."""
+        kwargs = {}
+        for name, spec in cls.__dataclass_fields__.items():
+            if name in payload:
+                kwargs[name] = payload[name]
+            elif (
+                spec.default is dataclasses.MISSING
+                and spec.default_factory is dataclasses.MISSING
+            ):
+                kwargs[name] = None
+        return cls(**kwargs)
 
 
 def read_records(path: str | Path) -> list[dict]:
-    """Parse a JSONL telemetry file (run registry or bench history).
+    """Parse a JSONL telemetry file (run registry, journal, bench history).
 
     Blank lines are skipped; a malformed line raises :class:`ValueError`
-    naming its line number, because a silently dropped record would make a
-    trajectory lie.
+    naming its line number, because a silently dropped record would make
+    a trajectory lie.  The one exception: a malformed final line **with
+    no trailing newline** is the signature of a crash mid-append (the
+    failure mode the append-only files are designed to survive), so it is
+    skipped with a :class:`RuntimeWarning` naming the file instead of
+    poisoning every future read.  A newline-terminated invalid line —
+    even the last one — is real corruption and still raises.
     """
-    records: list[dict] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except ValueError as exc:
-                raise ValueError(
-                    f"{path}: line {lineno} is not valid JSON: {exc}"
-                ) from exc
+        raw = fh.read()
+    lines = raw.splitlines()
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as exc:
+            is_torn_tail = (
+                not raw.endswith("\n")
+                and all(not rest.strip() for rest in lines[lineno:])
+            )
+            if is_torn_tail:
+                warnings.warn(
+                    f"{path}: skipped truncated final line {lineno} "
+                    "(no trailing newline; crash mid-append?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}: line {lineno} is not valid JSON: {exc}"
+            ) from exc
     return records
+
+
+def repair_torn_tail(path: str | Path, fd: int) -> int:
+    """Drop a torn (newline-less) final line left by a crash mid-append.
+
+    Called by append-only writers (:class:`RunRegistry`,
+    :class:`repro.runner.journal.SweepJournal`) when they open their file:
+    a process killed mid-``os.write`` can leave a partial last line, and
+    truncating it back to the last complete line keeps the file strictly
+    parseable forever — the lost record was incomplete anyway, and
+    recomputing it is the safe direction.  Returns the number of bytes
+    dropped (0 when the file was clean); a non-zero repair is surfaced
+    with a :class:`RuntimeWarning`.
+    """
+    size = os.fstat(fd).st_size
+    if size == 0:
+        return 0
+    raw = Path(path).read_bytes()
+    if raw.endswith(b"\n"):
+        return 0
+    keep = raw.rfind(b"\n") + 1  # 0 when no complete line survives
+    os.ftruncate(fd, keep)
+    dropped = len(raw) - keep
+    warnings.warn(
+        f"{path}: dropped a torn {dropped}-byte final line "
+        "(crash mid-append?); the file is clean again",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return dropped
 
 
 class RunRegistry:
@@ -118,6 +188,13 @@ class RunRegistry:
     every line stays parseable.  The registry never rewrites history;
     repeated sweeps accumulate, which is exactly what makes trajectories
     (``repro.cli report``) possible.
+
+    A process killed mid-append can leave a torn final line with no
+    trailing newline; opening the registry truncates that tail back to
+    the last complete line (see :func:`repair_torn_tail`), so one crash
+    never makes the file unparseable.  Readers that meet a torn tail
+    before any writer repaired it skip it with a warning — see
+    :func:`read_records`.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -127,6 +204,7 @@ class RunRegistry:
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         self.count = 0
+        repair_torn_tail(self.path, self._fd)
 
     def append(self, record: "RunRecord | dict") -> None:
         """Write one record as one atomic JSONL line."""
@@ -157,6 +235,11 @@ class RunRegistry:
         return False
 
 
+def _status(record: dict) -> str:
+    """Normalized status of a run record (older rows predate the field)."""
+    return record.get("status") or "ok"
+
+
 class SweepReport:
     """Aggregate view of a run-record stream.
 
@@ -164,6 +247,12 @@ class SweepReport:
     compatible dicts).  Cached cells count toward cache efficiency but are
     excluded from wall-time statistics — a hit costs a file read, not a
     simulation — so load balance and stragglers describe real work only.
+
+    Rows logged by the crash-safe runner with ``status`` ``"failed:*"`` /
+    ``"retried:*"`` are split out (``failed``/``retried``): their wall
+    time measures a timeout or a dying worker, not engine speed, so they
+    never pollute load balance, stragglers or throughput.  ``n_tasks``
+    counts *cells* (terminal rows), not attempts.
     """
 
     def __init__(
@@ -173,9 +262,14 @@ class SweepReport:
             raise ValueError("straggler_factor must be > 1")
         self.records = list(records)
         self.straggler_factor = float(straggler_factor)
-        self.computed = [r for r in self.records if not r.get("cached")]
-        self.n_tasks = len(self.records)
-        self.n_cached = self.n_tasks - len(self.computed)
+        self.failed = [r for r in self.records if _status(r).startswith("failed")]
+        self.retried = [
+            r for r in self.records if _status(r).startswith("retried")
+        ]
+        ok = [r for r in self.records if _status(r) == "ok"]
+        self.computed = [r for r in ok if not r.get("cached")]
+        self.n_tasks = len(ok) + len(self.failed)
+        self.n_cached = len(ok) - len(self.computed)
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -246,16 +340,16 @@ class SweepReport:
         or timestamp-free streams.  An estimate — sweeps that share a
         registry file interleave their stamps.
         """
-        if not self.records:
+        if not self.n_tasks:
             return math.nan
         stamps = [r.get("ts", 0.0) for r in self.records]
         span = max(stamps) - min(stamps)
         if span > 0:
             first = min(self.records, key=lambda r: r.get("ts", 0.0))
             span += first.get("wall_seconds", 0.0)
-            return len(self.records) / span
+            return self.n_tasks / span
         total = self.total_wall
-        return len(self.records) / total if total > 0 else math.nan
+        return self.n_tasks / total if total > 0 else math.nan
 
     # --------------------------------------------------------------- export
     def to_dict(self) -> dict:
@@ -266,6 +360,8 @@ class SweepReport:
             "n_tasks": self.n_tasks,
             "n_cached": self.n_cached,
             "n_computed": len(self.computed),
+            "n_failed": len(self.failed),
+            "n_retried": len(self.retried),
             "cache_hit_rate": clean(self.cache_hit_rate),
             "wall": {
                 "total_s": self.total_wall,
@@ -307,6 +403,8 @@ class SweepReport:
                 ["tasks", str(snap["n_tasks"])],
                 ["cached", str(snap["n_cached"])],
                 ["computed", str(snap["n_computed"])],
+                ["failed", str(snap["n_failed"])],
+                ["retried attempts", str(snap["n_retried"])],
                 ["cache efficiency", fmt(snap["cache_hit_rate"], "{:.1%}")],
                 ["compute wall (s)", fmt(snap["wall"]["total_s"])],
                 ["median task (s)", fmt(snap["wall"]["median_s"], "{:.3f}")],
@@ -365,7 +463,15 @@ class ProgressReporter:
         """Called once before any task is reported."""
 
     def task_done(self, record: RunRecord, done: int, total: int) -> None:
-        """Called per cell in completion order (cache hits first)."""
+        """Called per cell in completion order (cache hits first).
+
+        Terminal failures under ``on_error="skip"``/``"retry"`` arrive
+        here too, with ``record.status == "failed:<kind>"``.
+        """
+
+    def task_retried(self, record: RunRecord) -> None:
+        """Called per transient attempt the crash-safe runner re-queues
+        (``record.status == "retried:<kind>"``); not counted in ``done``."""
 
     def sweep_end(self, stats: dict) -> None:
         """Called once with the sweep's :class:`SweepStats` dict."""
@@ -410,11 +516,18 @@ class TtyProgress(ProgressReporter):
 
     def task_done(self, record: RunRecord, done: int, total: int) -> None:
         cost = "cached" if record.cached else f"{record.wall_seconds:.2f}s"
+        if record.status != "ok":
+            cost = record.status
         line = (
             f"[{done}/{total}] {record.label} ({cost}) "
             f"elapsed {time.perf_counter() - self._t0:.1f}s"
         )
         self._stream.write("\r" + line[: self._width].ljust(self._width))
+        self._stream.flush()
+
+    def task_retried(self, record: RunRecord) -> None:
+        line = f"! {record.label}: {record.status}, retrying (attempt {record.attempt})"
+        self._stream.write("\r" + line[: self._width].ljust(self._width) + "\n")
         self._stream.flush()
 
     def sweep_end(self, stats: dict) -> None:
@@ -466,6 +579,9 @@ class JsonlProgress(ProgressReporter):
             }
         )
 
+    def task_retried(self, record: RunRecord) -> None:
+        self._emit({"event": "task_retried", **record.to_dict()})
+
     def sweep_end(self, stats: dict) -> None:
         self._emit({"event": "sweep_end", **stats, "ts": time.time()})
 
@@ -494,8 +610,9 @@ def trajectory(
     and for each consecutive pair within a key computes
     ``ratio = value / previous value``; an entry is ``regressed`` when the
     ratio is ``>= regression_factor``.  Skipped: records missing the key
-    or the value, and cache-hit sweep cells (``cached`` truthy — their
-    wall time measures a file read, not engine speed).
+    or the value, cache-hit sweep cells (``cached`` truthy — their wall
+    time measures a file read, not engine speed), and failed/retried
+    attempt rows (their wall measures a timeout or a dying worker).
     """
     if regression_factor <= 1.0:
         raise ValueError("regression_factor must be > 1")
@@ -506,6 +623,8 @@ def trajectory(
         key = record.get(key_field)
         value = record.get(value_field)
         if key is None or not isinstance(value, (int, float)) or record.get("cached"):
+            continue
+        if _status(record) != "ok":
             continue
         index = runs.get(key, 0)
         runs[key] = index + 1

@@ -13,7 +13,9 @@ determinism guarantee.
 """
 
 from .cache import ResultCache, code_version, stable_hash
+from .journal import SweepJournal
 from .sweep import (
+    ON_ERROR_POLICIES,
     SimTask,
     SweepSpec,
     SweepStats,
@@ -25,11 +27,20 @@ from .sweep import (
     run_sweep,
     workload_fingerprint,
 )
+from .watchdog import (
+    FailureReport,
+    RetryPolicy,
+    SweepError,
+    TaskFailure,
+    is_transient,
+)
 
 __all__ = [
     "ResultCache",
     "code_version",
     "stable_hash",
+    "SweepJournal",
+    "ON_ERROR_POLICIES",
     "SimTask",
     "SweepSpec",
     "SweepStats",
@@ -40,4 +51,9 @@ __all__ = [
     "parallel_map",
     "run_sweep",
     "workload_fingerprint",
+    "FailureReport",
+    "RetryPolicy",
+    "SweepError",
+    "TaskFailure",
+    "is_transient",
 ]

@@ -84,25 +84,55 @@ _CODE_VERSION: str | None = None
 class ResultCache:
     """Fingerprint-addressed JSON store under one directory.
 
-    Misses return ``None``; corrupt or truncated entries are treated as
-    misses and overwritten on the next :meth:`put` — the cache is always
-    safe to delete wholesale.
+    Misses return ``None``.  A corrupt or truncated entry (torn write,
+    disk fault, injected chaos) is **quarantined** — renamed to
+    ``<entry>.json.corrupt`` and counted in :attr:`corrupt` /
+    :attr:`quarantined` — rather than silently re-read and re-missed on
+    every run; the next :meth:`put` rewrites the entry cleanly.  The cache
+    is always safe to delete wholesale.
+
+    ``fsync=True`` opts into flushing each entry (and its directory) to
+    stable storage before the atomic rename — power-loss durability at
+    the cost of one fsync per write; the default trusts the OS page cache,
+    which is safe against process crashes but not pulled plugs.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, fsync: bool = False) -> None:
         self.directory = Path(directory)
+        self.fsync = bool(fsync)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.quarantined: list[Path] = []
 
     def _path(self, fingerprint: str) -> Path:
         return self.directory / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a damaged entry aside so it is inspected once, not re-hit."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # a concurrent writer already replaced or removed it
+        self.corrupt += 1
+        self.quarantined.append(target)
+        return target
 
     def get(self, fingerprint: str) -> dict | None:
         """Stored payload for ``fingerprint``, or ``None``."""
         path = self._path(fingerprint)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -113,10 +143,18 @@ class ResultCache:
         path = self._path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
-        )
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+            if self.fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if self.fsync:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
 
     def __len__(self) -> int:
         if not self.directory.is_dir():

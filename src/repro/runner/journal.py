@@ -1,0 +1,123 @@
+"""Append-only sweep journal: crash-safe resume for ``run_sweep``.
+
+The :class:`~repro.runner.cache.ResultCache` already memoizes completed
+cells, but it is an *optional* optimization a sweep may run without, and a
+content-addressed store says nothing about which sweep wrote what.  The
+journal is the durability record: one JSONL line per **completed cell**,
+carrying the cell's fingerprint *and its full result payload*, appended
+with a single ``O_APPEND`` write the moment the cell finishes.  After a
+crash, SIGINT or power loss, re-running the same sweep with the same
+journal replays every journaled cell from disk — bit-identical, zero
+recomputation — and executes only the remainder.
+
+Soundness mirrors the cache: entries are keyed by the same fingerprint
+(workload, capacity, policy, backfill, faults, engine options, *and the
+engine source hash*), so a journal can never resurrect a result the
+current code would not produce — editing the engines simply orphans old
+entries.  The file format::
+
+    {"event": "sweep", "n_tasks": N, "ts": ...}          # one per run_sweep
+    {"event": "task", "fingerprint": "...", "payload": {...}, "ts": ...}
+
+A line interrupted mid-append (crash, power loss) is tolerated: reads
+skip a truncated final line (see :func:`repro.obs.runs.read_records`) and
+re-opening the journal truncates the torn tail back to the last complete
+line, so one torn write never poisons the file.  Lost in that case is
+exactly one cell's record — it gets recomputed, which is the safe
+direction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed sweep cells.
+
+    Open-for-append on construction; :meth:`completed` reads back every
+    durable cell so ``run_sweep`` can serve them without recomputation.
+    Appends are single ``os.write`` calls of one complete line — atomic on
+    local filesystems, so an interrupted process leaves at most one torn
+    final line, which the reader tolerates and re-opening truncates away.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+        from ..obs.runs import repair_torn_tail
+
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = bool(fsync)
+        self._fd: int | None = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self.recorded = 0
+        # a previous crash mid-append leaves a torn, newline-less tail;
+        # truncate it back to the last complete line so the file stays
+        # strictly parseable (the lost cell just gets recomputed)
+        repair_torn_tail(self.path, self._fd)
+
+    # ----------------------------------------------------------------- read
+    def completed(self) -> dict[str, dict]:
+        """``fingerprint -> payload`` for every journaled cell.
+
+        Tolerates a truncated final line (the crash the journal exists to
+        survive).  Later entries win on duplicate fingerprints, matching
+        append order.
+        """
+        from ..obs.runs import read_records
+
+        if not self.path.exists():
+            return {}
+        out: dict[str, dict] = {}
+        for entry in read_records(self.path):
+            if entry.get("event") != "task":
+                continue
+            fingerprint = entry.get("fingerprint")
+            payload = entry.get("payload")
+            if isinstance(fingerprint, str) and isinstance(payload, dict):
+                out[fingerprint] = payload
+        return out
+
+    # ---------------------------------------------------------------- write
+    def _write(self, obj: dict) -> None:
+        if self._fd is None:
+            raise ValueError(f"journal {self.path} is closed")
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        if self.fsync:
+            os.fsync(self._fd)
+
+    def start(self, n_tasks: int) -> None:
+        """Mark the beginning of one ``run_sweep`` invocation."""
+        self._write({"event": "sweep", "n_tasks": int(n_tasks), "ts": time.time()})
+
+    def record(self, fingerprint: str, payload: dict) -> None:
+        """Journal one completed cell (durable before the call returns)."""
+        self._write(
+            {
+                "event": "task",
+                "fingerprint": fingerprint,
+                "payload": payload,
+                "ts": time.time(),
+            }
+        )
+        self.recorded += 1
+
+    def close(self) -> None:
+        """Release the descriptor (idempotent; appends are already durable)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

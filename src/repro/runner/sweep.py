@@ -50,9 +50,12 @@ from ..sched import (
 )
 from ..sched.job import SimWorkload
 from .cache import ResultCache, code_version, stable_hash
+from .journal import SweepJournal
+from .watchdog import FailureReport, RetryPolicy, SweepError, run_watchdog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import at runtime
     from ..obs.runs import ProgressReporter, RunRegistry
+    from ..testkit.chaos import ChaosConfig
 
 __all__ = [
     "WorkloadSpec",
@@ -66,6 +69,9 @@ __all__ = [
     "default_jobs",
     "workload_fingerprint",
 ]
+
+#: accepted values for run_sweep's ``on_error`` policy
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
 
 
 def derive_seed(base: int, *parts) -> int:
@@ -322,6 +328,14 @@ class SweepStats:
     execute_seconds: float = 0.0
     task_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: cells replayed from the sweep journal (subset of ``n_cached``)
+    n_journal: int = 0
+    #: cells that terminally failed (on_error="skip"/"retry")
+    n_failed: int = 0
+    #: transient attempts that were retried
+    n_retried: int = 0
+    #: corrupt cache entries quarantined during this invocation
+    cache_corrupt: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -333,12 +347,20 @@ class SweepStats:
             f"{self.n_executed} executed on {self.jobs} worker(s)",
             f"wall {self.total_seconds:.2f}s",
         ]
+        if self.n_journal:
+            parts.insert(2, f"{self.n_journal} from journal")
+        if self.n_failed or self.n_retried:
+            parts.append(
+                f"{self.n_failed} failed, {self.n_retried} retried attempt(s)"
+            )
+        if self.cache_corrupt:
+            parts.append(f"{self.cache_corrupt} corrupt cache entr(ies) quarantined")
         if self.task_seconds:
             parts.append(f"compute {self.task_seconds:.2f}s")
         return ", ".join(parts)
 
 
-def _run_record(result: TaskResult, task: SimTask, seq: int):
+def _run_record(result: TaskResult, task: SimTask, seq: int, attempt: int = 1):
     """Build the telemetry record for one completed cell."""
     from ..obs.runs import RunRecord
 
@@ -355,6 +377,30 @@ def _run_record(result: TaskResult, task: SimTask, seq: int):
         code=code_version(),
         metrics=dict(result.metrics),
         ts=time.time(),
+        attempt=attempt,
+    )
+
+
+def _failure_record(failure, task: SimTask, seq: int, terminal: bool):
+    """Telemetry record for a failed (or retried) execution attempt."""
+    from ..obs.runs import RunRecord
+
+    system = task.workload.system if isinstance(task.workload, WorkloadSpec) else None
+    prefix = "failed" if terminal else "retried"
+    return RunRecord(
+        fingerprint=failure.fingerprint,
+        label=failure.label,
+        policy=task.policy,
+        system=system,
+        wall_seconds=failure.wall_seconds,
+        cached=False,
+        worker=failure.worker,
+        seq=seq,
+        code=code_version(),
+        metrics={},
+        ts=time.time(),
+        status=f"{prefix}:{failure.kind}",
+        attempt=failure.attempt,
     )
 
 
@@ -365,7 +411,13 @@ def run_sweep(
     registry: "RunRegistry | None" = None,
     progress: "ProgressReporter | None" = None,
     stats_out: SweepStats | None = None,
-) -> list[TaskResult]:
+    timeout: float | None = None,
+    on_error: str = "raise",
+    retry: RetryPolicy | int | None = None,
+    journal: SweepJournal | str | Path | None = None,
+    chaos: "ChaosConfig | None" = None,
+    failures_out: FailureReport | None = None,
+) -> list[TaskResult | None]:
     """Execute a sweep, fanning cache misses out over ``jobs`` workers.
 
     Results come back in task order.  Cells whose fingerprint is present
@@ -374,39 +426,102 @@ def run_sweep(
     returned metric dicts are bit-identical to a serial run — cells are
     independent and carry their own seeds.
 
+    Crash safety (``docs/PARALLELISM.md`` → "Crash-safe sweeps"; all off
+    by default, in which case execution takes the original pool path and
+    worker exceptions propagate raw):
+
+    * ``timeout`` — per-cell wall-clock limit in seconds; a cell past it
+      is killed by the parent-side watchdog and classified as a transient
+      ``timeout`` failure.
+    * ``on_error`` — what a *terminal* cell failure does: ``"raise"``
+      (default) aborts with :class:`SweepError` carrying the partial
+      results; ``"skip"`` records it and leaves ``None`` at that cell's
+      position; ``"retry"`` additionally retries transient failures
+      (crash/timeout/corrupt/transient errors) with seeded deterministic
+      backoff before giving up.
+    * ``retry`` — a :class:`RetryPolicy` (or an int shorthand for
+      ``max_attempts``); activates retries under any ``on_error``.
+    * ``journal`` — a :class:`SweepJournal` (or its path): every
+      completed cell is appended durably, and cells already journaled are
+      replayed without recomputation — an interrupted sweep resumes
+      bit-identical to an uninterrupted run.
+    * ``chaos`` — a :class:`repro.testkit.chaos.ChaosConfig` injecting
+      seeded worker faults (crash/hang/error/corrupt); the deterministic
+      test harness for all of the above.
+    * ``failures_out`` — a :class:`FailureReport` filled with terminal
+      failures and retried attempts (also available via ``stats_out``
+      counts).
+
+    On ``KeyboardInterrupt`` (and any other abort) in-flight workers are
+    terminated before the exception re-raises — no zombie processes, and
+    the journal/registry only ever contain complete lines.
+
     Telemetry (all optional, all pure observers — attaching them changes
     nothing about the results; see ``tests/test_runner.py``):
 
     * ``registry`` — a :class:`repro.obs.runs.RunRegistry`; one
       :class:`~repro.obs.runs.RunRecord` is appended per cell, cache hits
-      first, then computed cells in completion order.
+      first, then computed cells in completion order; failed and retried
+      attempts are appended with ``status="failed:*"``/``"retried:*"``.
     * ``progress`` — a :class:`~repro.obs.runs.ProgressReporter`; driven
       from the parent as worker futures complete.  The default no-op
       reporter keeps the unobserved path free of record construction.
     * ``stats_out`` — a :class:`SweepStats` to fill with cache hit/miss
-      deltas and per-phase wall time.
+      deltas, journal/failure/retry counts and per-phase wall time.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive (or None)")
+    if isinstance(retry, int):
+        retry = RetryPolicy(max_attempts=retry)
+    retry_active = retry is not None or on_error == "retry"
+    if retry_active and retry is None:
+        retry = RetryPolicy()
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
+    owns_journal = isinstance(journal, (str, Path))
+    if owns_journal:
+        journal = SweepJournal(journal)
     tasks = list(tasks)
+
+    report = failures_out if failures_out is not None else FailureReport()
+    report.clear()
 
     t_start = time.perf_counter()
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
+    corrupt0 = cache.corrupt if cache is not None else 0
 
     fingerprints = [t.fingerprint() for t in tasks]
     t_fingerprinted = time.perf_counter()
 
+    journaled = journal.completed() if journal is not None else {}
+    if journal is not None:
+        journal.start(len(tasks))
+
     results: dict[int, TaskResult] = {}
     misses: list[int] = []
+    journal_hits = 0
     for i, (task, fp) in enumerate(zip(tasks, fingerprints)):
+        if fp in journaled:
+            results[i] = TaskResult.from_payload(
+                task.label, fp, journaled[fp], cached=True
+            )
+            journal_hits += 1
+            continue
         payload = cache.get(fp) if cache is not None else None
         if payload is not None:
             results[i] = TaskResult.from_payload(
                 task.label, fp, payload, cached=True
             )
+            if journal is not None:
+                # journal the hit so a resume never depends on the cache
+                journal.record(fp, payload)
         else:
             misses.append(i)
     t_probed = time.perf_counter()
@@ -424,8 +539,9 @@ def run_sweep(
     if observing:
         progress.sweep_start(total, len(results), jobs)
         for i in sorted(results):
+            source = "journal" if fingerprints[i] in journaled else "cache"
             record = _run_record(
-                dataclasses.replace(results[i], worker="cache"), tasks[i], seq
+                dataclasses.replace(results[i], worker=source), tasks[i], seq
             )
             if registry is not None:
                 registry.append(record)
@@ -434,34 +550,113 @@ def run_sweep(
             progress.task_done(record, done, total)
 
     task_seconds = 0.0
-    if misses:
-        indexed = [(i, tasks[i]) for i in misses]
-        workers = min(jobs, len(indexed))
-        if workers <= 1:
-            completions: Iterable = map(_execute_indexed, indexed)
-            pool = None
-        else:
-            ctx = _mp_context()
-            pool = ctx.Pool(processes=workers)
-            completions = pool.imap_unordered(_execute_indexed, indexed, chunksize=1)
-        try:
-            for i, res, wall, worker in completions:
-                task_seconds += wall
-                res = dataclasses.replace(res, wall_seconds=wall, worker=worker)
-                results[i] = res
-                if cache is not None:
-                    cache.put(fingerprints[i], res.payload())
-                if observing:
-                    record = _run_record(res, tasks[i], seq)
-                    if registry is not None:
-                        registry.append(record)
-                    seq += 1
-                    done += 1
-                    progress.task_done(record, done, total)
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
+    abort_failure = None
+
+    def _complete(i: int, res: TaskResult, wall: float, worker: str,
+                  attempt: int = 1) -> None:
+        nonlocal seq, done, task_seconds
+        task_seconds += wall
+        res = dataclasses.replace(res, wall_seconds=wall, worker=worker)
+        results[i] = res
+        if cache is not None:
+            cache.put(fingerprints[i], res.payload())
+            if chaos is not None:
+                chaos.corrupt_cache_entry(cache, fingerprints[i])
+        if journal is not None:
+            journal.record(fingerprints[i], res.payload())
+        if observing:
+            record = _run_record(res, tasks[i], seq, attempt=attempt)
+            if registry is not None:
+                registry.append(record)
+            seq += 1
+            done += 1
+            progress.task_done(record, done, total)
+
+    def _terminal_failure(i: int, failure) -> None:
+        nonlocal seq, done
+        report.failures.append(failure)
+        if observing:
+            record = _failure_record(failure, tasks[i], seq, terminal=True)
+            if registry is not None:
+                registry.append(record)
+            seq += 1
+            done += 1
+            progress.task_done(record, done, total)
+
+    def _retried(i: int, failure) -> None:
+        nonlocal seq
+        report.retries.append(failure)
+        if observing:
+            record = _failure_record(failure, tasks[i], seq, terminal=False)
+            if registry is not None:
+                registry.append(record)
+            seq += 1
+            progress.task_retried(record)
+
+    use_watchdog = (
+        timeout is not None
+        or chaos is not None
+        or retry_active
+        or on_error != "raise"
+    )
+    try:
+        if misses and not use_watchdog:
+            indexed = [(i, tasks[i]) for i in misses]
+            workers = min(jobs, len(indexed))
+            if workers <= 1:
+                completions: Iterable = map(_execute_indexed, indexed)
+                pool = None
+            else:
+                ctx = _mp_context()
+                pool = ctx.Pool(processes=workers)
+                completions = pool.imap_unordered(
+                    _execute_indexed, indexed, chunksize=1
+                )
+            try:
+                for i, res, wall, worker in completions:
+                    _complete(i, res, wall, worker)
+            except BaseException:
+                # KeyboardInterrupt or a worker exception: kill the pool
+                # now (no zombies), let the durable journal/registry lines
+                # already written stand, then re-raise
+                if pool is not None:
+                    pool.terminate()
+                    pool.join()
+                    pool = None
+                raise
+            finally:
+                if pool is not None:
+                    pool.close()
+                    pool.join()
+        elif misses:
+            items = [(i, tasks[i], fingerprints[i]) for i in misses]
+            gen = run_watchdog(
+                items,
+                _execute_task,
+                jobs=min(jobs, len(items)),
+                timeout=timeout,
+                retry=retry if retry_active else None,
+                chaos=chaos,
+            )
+            try:
+                for event in gen:
+                    if event[0] == "done":
+                        _, i, res, wall, worker, attempt = event
+                        _complete(i, res, wall, worker, attempt)
+                    elif event[0] == "retry":
+                        _retried(event[1], event[2])
+                    else:
+                        _terminal_failure(event[1], event[2])
+                        if on_error == "raise":
+                            abort_failure = event[2]
+                            break
+            finally:
+                # closing the generator kills any in-flight workers —
+                # this is the KeyboardInterrupt path too
+                gen.close()
+    finally:
+        if owns_journal:
+            journal.close()
     t_executed = time.perf_counter()
 
     stats = stats_out if stats_out is not None else SweepStats()
@@ -471,6 +666,10 @@ def run_sweep(
     stats.jobs = jobs
     stats.cache_hits = (cache.hits - hits0) if cache is not None else 0
     stats.cache_misses = (cache.misses - misses0) if cache is not None else 0
+    stats.cache_corrupt = (cache.corrupt - corrupt0) if cache is not None else 0
+    stats.n_journal = journal_hits
+    stats.n_failed = report.n_failed
+    stats.n_retried = report.n_retried
     stats.fingerprint_seconds = t_fingerprinted - t_start
     stats.probe_seconds = t_probed - t_fingerprinted
     stats.execute_seconds = t_executed - t_probed
@@ -479,7 +678,10 @@ def run_sweep(
     if observing:
         progress.sweep_end(stats.as_dict())
 
-    return [results[i] for i in range(len(tasks))]
+    ordered = [results.get(i) for i in range(len(tasks))]
+    if abort_failure is not None:
+        raise SweepError(report, ordered)
+    return ordered
 
 
 @dataclass

@@ -1,0 +1,453 @@
+"""Parent-side watchdog: per-task timeouts, crash detection, seeded retries.
+
+:func:`repro.runner.run_sweep`'s default execution path assumes workers are
+perfect: a hung cell stalls the whole sweep, a crashed worker (OOM kill,
+segfault, injected chaos) tears it down, and a single poison cell throws
+away every completed result.  At the scale the roadmap targets —
+multi-host grids 10x today's — failures are the norm, not the exception,
+so this module supplies the hardened execution path:
+
+* **one process per task attempt** — each attempt runs in a fresh
+  (fork-preferred) process talking back over its own pipe, so a dying or
+  hung worker is trivially attributed to exactly one cell and can never
+  corrupt a shared queue;
+* a **watchdog loop** in the parent that polls every in-flight attempt,
+  detects dead workers (``exitcode`` without a result message), enforces
+  an optional per-task wall-clock ``timeout`` (terminate, then kill), and
+  respawns work into the freed slot;
+* **error classification** — worker-side exceptions are *transient*
+  (worth retrying: ``OSError``/``MemoryError``, or any exception type
+  carrying a truthy ``transient`` class attribute, e.g.
+  :class:`repro.testkit.chaos.ChaosError`) or *poison* (deterministic
+  task bugs: retrying cannot help).  Crashes, timeouts and corrupt
+  results are always transient — they describe the worker, not the cell;
+* a seeded, deterministic :class:`RetryPolicy` — exponential backoff with
+  hash-derived jitter, so two runs of the same sweep wait the same
+  delays, and a retried cell's *result* is bit-identical to a clean run
+  (retry only re-executes; it never changes any simulation input);
+* structured outcomes — :class:`TaskFailure` rows collected into a
+  :class:`FailureReport`, and :class:`SweepError` carrying partial
+  results when the caller asked failures to be fatal.
+
+Determinism note: the watchdog changes *where and when* attempts run,
+never any input to any simulation — the bit-identical-to-serial contract
+of ``run_sweep`` extends to retried and resumed runs (asserted in
+``tests/test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sweep import SimTask, TaskResult
+
+__all__ = [
+    "TaskFailure",
+    "FailureReport",
+    "SweepError",
+    "RetryPolicy",
+    "is_transient",
+    "run_watchdog",
+]
+
+#: exit code a worker uses for chaos-injected crashes (documented so
+#: failure rows are recognizable in telemetry)
+CHAOS_EXIT_CODE = 17
+
+
+def _unit_draw(seed: int, *parts) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from hashed labels.
+
+    The same hash-not-sequence construction as
+    :func:`repro.runner.derive_seed`: one draw never depends on any other,
+    so retry jitter is reproducible per (cell, attempt) regardless of how
+    many other cells fail.
+    """
+    payload = json.dumps([int(seed), *[str(p) for p in parts]])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Classify a worker-side exception: retry-worthy or poison.
+
+    Exception types may opt in explicitly with a truthy ``transient``
+    class attribute; otherwise resource-style failures (``OSError``,
+    ``MemoryError``) are transient and everything else — the deterministic
+    bugs retrying cannot fix — is poison.
+    """
+    marker = getattr(exc, "transient", None)
+    if marker is not None:
+        return bool(marker)
+    return isinstance(exc, (OSError, MemoryError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` bounds total executions of one cell (first try
+    included).  The delay before attempt ``n+1`` is::
+
+        backoff_base * backoff_factor**(n-1) * (1 + jitter * u)
+
+    where ``u`` is a hash-derived uniform draw from ``(seed, fingerprint,
+    n)`` — fully reproducible, no shared RNG stream.  ``backoff_base=0``
+    disables sleeping (used by the chaos tests to retry at full speed).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.jitter < 0:
+            raise ValueError(
+                "backoff_base/jitter must be >= 0 and backoff_factor >= 1"
+            )
+
+    def delay(self, fingerprint: str, attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based)."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        u = _unit_draw(self.seed, fingerprint, attempt)
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed execution attempt of one sweep cell.
+
+    ``kind`` is one of ``"crash"`` (worker died without reporting),
+    ``"timeout"`` (watchdog killed it past the wall-clock limit),
+    ``"corrupt"`` (worker returned a result for the wrong fingerprint)
+    or ``"error"`` (worker raised; ``message`` carries ``Type: text``).
+    ``transient`` says whether a retry could help; ``attempt`` is 1-based.
+    """
+
+    label: str
+    fingerprint: str
+    kind: str
+    message: str
+    attempt: int
+    transient: bool
+    wall_seconds: float = 0.0
+    worker: str = ""
+    exitcode: int | None = None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        base = f"{self.label}: {self.kind} on attempt {self.attempt}"
+        return f"{base} ({self.message})" if self.message else base
+
+
+@dataclass
+class FailureReport:
+    """Structured outcome of a degraded sweep: what failed, what retried.
+
+    ``failures`` holds one terminal :class:`TaskFailure` per cell that
+    never produced a result; ``retries`` holds every non-terminal failed
+    attempt that was retried.  A clean sweep has both lists empty.
+    """
+
+    failures: list[TaskFailure] = field(default_factory=list)
+    retries: list[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def n_retried(self) -> int:
+        return len(self.retries)
+
+    def clear(self) -> None:
+        """Reset in place (run_sweep refills caller-supplied reports)."""
+        self.failures.clear()
+        self.retries.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            "failures": [f.as_dict() for f in self.failures],
+            "retries": [f.as_dict() for f in self.retries],
+        }
+
+    def summary(self) -> str:
+        if self.ok and not self.retries:
+            return "no failures"
+        parts = []
+        if self.failures:
+            kinds: dict[str, int] = {}
+            for f in self.failures:
+                kinds[f.kind] = kinds.get(f.kind, 0) + 1
+            detail = ", ".join(f"{k}: {n}" for k, n in sorted(kinds.items()))
+            parts.append(f"{len(self.failures)} cell(s) failed ({detail})")
+        if self.retries:
+            parts.append(f"{len(self.retries)} attempt(s) retried")
+        return "; ".join(parts)
+
+
+class SweepError(RuntimeError):
+    """A sweep cell failed terminally under ``on_error="raise"``.
+
+    Carries the :class:`FailureReport` (``report``) and the partial
+    results gathered before the abort (``results``, task-ordered with
+    ``None`` holes) so callers can still salvage completed work.
+    """
+
+    def __init__(self, report: FailureReport, results: list) -> None:
+        first = report.failures[0] if report.failures else None
+        message = first.describe() if first is not None else "sweep failed"
+        super().__init__(f"sweep aborted: {message} [{report.summary()}]")
+        self.report = report
+        self.results = results
+
+
+# --------------------------------------------------------------- worker side
+def _attempt_main(conn, execute, task, fingerprint, attempt, chaos) -> None:
+    """Run one attempt of one cell and report over ``conn``.
+
+    Chaos hooks (when configured) fire around the real execution:
+    ``before_execute`` may crash the process, hang, or raise; a successful
+    result may be corrupted by ``after_execute`` — the parent detects that
+    through the fingerprint check.  A worker that dies here without
+    sending anything is classified as a crash by the watchdog.
+    """
+    name = multiprocessing.current_process().name
+    try:
+        if chaos is not None:
+            chaos.before_execute(fingerprint, attempt)
+        t0 = time.perf_counter()
+        result = execute(task)
+        wall = time.perf_counter() - t0
+        if chaos is not None:
+            result = chaos.after_execute(result, fingerprint, attempt)
+        conn.send(("ok", result, wall, name))
+    except BaseException as exc:  # noqa: BLE001 - full classification boundary
+        try:
+            conn.send(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    is_transient(exc),
+                    name,
+                )
+            )
+        except Exception:
+            pass  # pipe gone: parent will classify this as a crash
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------- parent side
+@dataclass
+class _Slot:
+    """One in-flight attempt: process, pipe, and its deadline bookkeeping."""
+
+    proc: multiprocessing.Process
+    conn: object
+    index: int
+    task: "SimTask"
+    fingerprint: str
+    attempt: int
+    started: float
+
+
+def _kill_slot(slot: _Slot) -> None:
+    """Terminate an attempt process, escalating SIGTERM -> SIGKILL."""
+    proc = slot.proc
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
+    try:
+        slot.conn.close()
+    except OSError:
+        pass
+
+
+def run_watchdog(
+    items: Sequence[tuple[int, "SimTask", str]],
+    execute: Callable,
+    *,
+    jobs: int,
+    timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    chaos=None,
+    ctx=None,
+    poll_interval: float = 0.02,
+) -> Iterator[tuple]:
+    """Drive task attempts through watchdogged processes; yield outcomes.
+
+    ``items`` is a sequence of ``(index, task, fingerprint)``.  Yields, in
+    completion order:
+
+    * ``("done", index, TaskResult, wall_seconds, worker, attempt)`` — the
+      attempt succeeded and its result fingerprint matched;
+    * ``("retry", index, TaskFailure)`` — a transient failure that will be
+      re-attempted after the policy's deterministic backoff;
+    * ``("failed", index, TaskFailure)`` — a terminal failure (poison, or
+      retries exhausted, or no retry policy active).
+
+    Closing the generator (including via an exception in the consuming
+    loop, e.g. ``KeyboardInterrupt``) kills every in-flight worker — no
+    zombies survive an abandoned sweep.
+    """
+    if ctx is None:
+        from .sweep import _mp_context
+
+        ctx = _mp_context()
+    max_attempts = retry.max_attempts if retry is not None else 1
+
+    pending: deque = deque((i, task, fp, 1) for i, task, fp in items)
+    delayed: list = []  # heap of (ready_at, tiebreak, pending-entry)
+    tiebreak = 0
+    slots: list[_Slot] = []
+
+    def spawn(index: int, task, fingerprint: str, attempt: int) -> None:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_attempt_main,
+            args=(send, execute, task, fingerprint, attempt, chaos),
+            daemon=True,
+        )
+        proc.start()
+        send.close()
+        slots.append(
+            _Slot(proc, recv, index, task, fingerprint, attempt, time.monotonic())
+        )
+
+    def failure(slot: _Slot, kind: str, message: str, transient: bool,
+                worker: str = "") -> TaskFailure:
+        return TaskFailure(
+            label=slot.task.label,
+            fingerprint=slot.fingerprint,
+            kind=kind,
+            message=message,
+            attempt=slot.attempt,
+            transient=transient,
+            wall_seconds=time.monotonic() - slot.started,
+            worker=worker or slot.proc.name,
+            exitcode=slot.proc.exitcode,
+        )
+
+    try:
+        while pending or delayed or slots:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, _, entry = heapq.heappop(delayed)
+                pending.append(entry)
+            while pending and len(slots) < jobs:
+                spawn(*pending.popleft())
+            if not slots:
+                # everything alive is waiting out a backoff delay
+                if delayed:
+                    time.sleep(
+                        max(min(delayed[0][0] - time.monotonic(), 0.25), 0.0)
+                    )
+                continue
+
+            progressed = False
+            for slot in list(slots):
+                outcome: TaskFailure | None = None
+                done = None
+                if slot.conn.poll(0):
+                    try:
+                        msg = slot.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    if msg is None:
+                        outcome = failure(
+                            slot, "crash",
+                            "worker closed the pipe without a result", True,
+                        )
+                    elif msg[0] == "ok":
+                        _, result, wall, worker = msg
+                        if result.fingerprint != slot.fingerprint:
+                            outcome = failure(
+                                slot, "corrupt",
+                                "result fingerprint does not match the task",
+                                True, worker,
+                            )
+                        else:
+                            done = (result, wall, worker)
+                    else:
+                        _, message, transient, worker = msg
+                        outcome = failure(
+                            slot, "error", message, transient, worker
+                        )
+                    slot.proc.join(timeout=2.0)
+                    slot.conn.close()
+                elif not slot.proc.is_alive():
+                    # grace poll: the worker may have exited right after
+                    # writing its message
+                    if slot.conn.poll(0.05):
+                        continue  # picked up next loop iteration
+                    outcome = failure(
+                        slot, "crash",
+                        f"worker died (exit code {slot.proc.exitcode})", True,
+                    )
+                    slot.proc.join(timeout=2.0)
+                    slot.conn.close()
+                elif (
+                    timeout is not None
+                    and time.monotonic() - slot.started > timeout
+                ):
+                    _kill_slot(slot)
+                    outcome = failure(
+                        slot, "timeout",
+                        f"exceeded the {timeout:g}s wall-clock limit", True,
+                    )
+                else:
+                    continue
+
+                slots.remove(slot)
+                progressed = True
+                if done is not None:
+                    result, wall, worker = done
+                    yield ("done", slot.index, result, wall, worker, slot.attempt)
+                elif (
+                    retry is not None
+                    and outcome.transient
+                    and slot.attempt < max_attempts
+                ):
+                    yield ("retry", slot.index, outcome)
+                    ready = time.monotonic() + retry.delay(
+                        slot.fingerprint, slot.attempt
+                    )
+                    tiebreak += 1
+                    heapq.heappush(
+                        delayed,
+                        (
+                            ready,
+                            tiebreak,
+                            (slot.index, slot.task, slot.fingerprint,
+                             slot.attempt + 1),
+                        ),
+                    )
+                else:
+                    yield ("failed", slot.index, outcome)
+            if not progressed:
+                time.sleep(poll_interval)
+    finally:
+        for slot in slots:
+            _kill_slot(slot)

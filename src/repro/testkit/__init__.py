@@ -13,7 +13,11 @@ Three layers, each usable on its own (see ``docs/TESTING.md``):
 * :mod:`repro.testkit.fuzz` — a seeded workload fuzzer that runs
   engine-vs-oracle differential comparisons over adversarial random
   workloads and shrinks any failure to a minimal SWF reproducer
-  (surface: ``python -m repro.cli fuzz``).
+  (surface: ``python -m repro.cli fuzz``);
+* :mod:`repro.testkit.chaos` — seeded fault injection for the *sweep
+  runner itself* (worker crashes, hangs, transient errors, corrupt
+  results, torn cache writes), driving the crash-safety guarantees of
+  :func:`repro.runner.run_sweep` (``tests/test_chaos.py``).
 
 Together they are the safety net every engine refactor and perf PR runs
 against: the hypothesis suite (``tests/test_sim_invariants.py``) drives
@@ -21,6 +25,7 @@ the invariants, the fuzzer guards bit-level scheduling semantics, and the
 golden tests (``tests/test_goldens.py``) pin end-to-end experiment output.
 """
 
+from .chaos import NO_CHAOS, ChaosConfig, ChaosError
 from .fuzz import (
     FUZZ_POLICIES,
     Divergence,
@@ -64,4 +69,7 @@ __all__ = [
     "random_workload",
     "shrink",
     "workload_to_trace",
+    "ChaosConfig",
+    "ChaosError",
+    "NO_CHAOS",
 ]

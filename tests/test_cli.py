@@ -259,6 +259,67 @@ class TestCliPolicySweep:
         assert "<cache-dir>/<2-hex-prefix>/<sha256-fingerprint>.json" in out
 
 
+class TestCliCrashSafety:
+    def test_bad_task_timeout_rejected(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "50",
+             "--task-timeout", "0"]
+        ) == 2
+        assert "--task-timeout" in capsys.readouterr().err
+
+    def test_bad_task_retries_rejected(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "50",
+             "--task-retries", "0"]
+        ) == 2
+        assert "--task-retries" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "50", "--resume"]
+        ) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_obs_flags_reject_crash_safety(self, swf_path, tmp_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "50", "--profile",
+             "--journal", str(tmp_path / "j.jsonl")]
+        ) == 2
+        assert "harden" in capsys.readouterr().err
+
+    def test_journal_records_and_resumes(self, swf_path, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        argv = ["simulate", str(swf_path), "--max-jobs", "150",
+                "--policy", "fcfs,sjf", "--journal", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 cell(s) recorded" in first
+        assert main(argv + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "0 cell(s) recorded" in resumed
+        # identical tables: the resume replayed, it didn't recompute
+        assert first.split("(journal")[0] == resumed.split("(journal")[0]
+
+    def test_existing_journal_needs_resume_flag(self, swf_path, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        argv = ["simulate", str(swf_path), "--max-jobs", "100",
+                "--journal", str(journal)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_retry_flags_accepted_on_clean_run(self, swf_path, capsys):
+        assert main(
+            ["simulate", str(swf_path), "--max-jobs", "100",
+             "--policy", "fcfs,sjf", "--jobs", "2",
+             "--task-timeout", "120", "--on-error", "retry",
+             "--task-retries", "3", "--retry-backoff", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy sweep" in out
+
+
 class TestCliRunTelemetry:
     def test_run_log_records_every_cell(self, swf_path, tmp_path, capsys):
         log = tmp_path / "runs.jsonl"

@@ -266,6 +266,39 @@ class TestResultCache:
         assert cache.get(fp) is None
         assert cache.misses == 1
 
+    def test_corrupt_entry_quarantined_not_rehit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = stable_hash({"x": 3})
+        cache.put(fp, {"v": 1})
+        entry = tmp_path / fp[:2] / f"{fp}.json"
+        entry.write_text("{torn", encoding="utf-8")
+        assert cache.get(fp) is None
+        assert cache.corrupt == 1
+        # the damaged bytes moved aside for inspection...
+        quarantine = entry.with_name(entry.name + ".corrupt")
+        assert quarantine.read_text(encoding="utf-8") == "{torn"
+        assert not entry.exists()
+        assert cache.quarantined == [quarantine]
+        # ...and quarantined entries don't count as cached entries
+        assert len(cache) == 0
+        # a rewrite heals the slot
+        cache.put(fp, {"v": 2})
+        assert cache.get(fp) == {"v": 2}
+
+    def test_non_object_entry_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = stable_hash({"x": 4})
+        cache.put(fp, {"v": 1})
+        (tmp_path / fp[:2] / f"{fp}.json").write_text("[1, 2]", encoding="utf-8")
+        assert cache.get(fp) is None
+        assert cache.corrupt == 1
+
+    def test_fsync_mode_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path, fsync=True)
+        fp = stable_hash({"x": 5})
+        cache.put(fp, {"v": 42})
+        assert cache.get(fp) == {"v": 42}
+
     def test_code_version_in_fingerprint_guards_staleness(self):
         # the fingerprint embeds code_version(); a different engine hash
         # must yield a different fingerprint for the same task

@@ -133,8 +133,66 @@ class TestRunRegistry:
         rec = RunRecord(**record(wall=2.5, worker="w1", seq=4))
         assert RunRecord.from_dict(rec.to_dict()) == rec
 
+    def test_run_record_status_round_trip(self):
+        rec = RunRecord(**record(seq=1), status="failed:timeout", attempt=3)
+        clone = RunRecord.from_dict(rec.to_dict())
+        assert clone.status == "failed:timeout"
+        assert clone.attempt == 3
+
+    def test_old_records_default_status_ok(self):
+        # registries written before the crash-safe runner lack the
+        # status/attempt keys; from_dict must fall back to the defaults
+        rec = RunRecord.from_dict(record(seq=2))
+        assert rec.status == "ok"
+        assert rec.attempt == 1
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with RunRegistry(path) as reg:
+            reg.append(record(seq=0))
+            reg.append(record(seq=1))
+        # crash mid-append: a partial, newline-less line at the tail
+        with open(path, "ab") as fh:
+            fh.write(b'{"fingerprint": "f-torn')
+        with pytest.warns(RuntimeWarning, match="torn"):
+            reg = RunRegistry(path)
+        with reg:
+            reg.append(record(seq=2))
+        rows = read_records(path)
+        assert [r["seq"] for r in rows] == [0, 1, 2]
+        for line in path.read_text().splitlines():
+            json.loads(line)  # the file is strictly parseable again
+
+    def test_reader_skips_torn_tail_with_warning(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        with RunRegistry(path) as reg:
+            reg.append(record(seq=0))
+        with open(path, "ab") as fh:
+            fh.write(b'{"fingerprint": "f-torn')
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            rows = read_records(path)
+        assert [r["seq"] for r in rows] == [0]
+
 
 class TestSweepReport:
+    def test_failed_and_retried_rows_split_out(self):
+        rows = [
+            record(seq=0, wall=1.0),
+            {**record(seq=1, wall=30.0), "status": "retried:timeout", "attempt": 1},
+            {**record(seq=2, wall=1.2), "status": "ok", "attempt": 2},
+            {**record(seq=3, wall=0.0), "status": "failed:crash", "attempt": 3},
+        ]
+        report = SweepReport(rows)
+        assert report.n_tasks == 3  # 2 ok cells + 1 failed cell, not attempts
+        assert len(report.failed) == 1
+        assert len(report.retried) == 1
+        # the retried attempt's 30 s timeout never pollutes wall stats
+        assert report.total_wall == pytest.approx(2.2)
+        d = report.to_dict()
+        assert d["n_failed"] == 1 and d["n_retried"] == 1
+        text = report.render()
+        assert "failed" in text and "retried" in text
+
     def test_cache_efficiency_and_counts(self):
         recs = [record(cached=True, worker="cache"), record(wall=1.0), record(wall=3.0)]
         rep = SweepReport(recs)
