@@ -12,11 +12,12 @@ decision log may cost real time, it just must not be catastrophic.
 """
 
 import heapq
+import json
 import time
 
 import numpy as np
 
-from repro.obs import Metrics, NullProgress, Profiler, RingBufferTracer
+from repro.obs import Metrics, NullProgress, PerfConfig, Profiler, RingBufferTracer
 from repro.runner import SimTask, WorkloadSpec, run_sweep
 from repro.sched import EASY, simulate, workload_from_trace
 from repro.sched.cluster import Cluster
@@ -29,6 +30,8 @@ NOOP_RATIO_LIMIT = 1.6
 ACTIVE_RATIO_LIMIT = 10.0
 #: a sweep with the no-op progress reporter attached vs no reporter at all
 SWEEP_NOOP_RATIO_LIMIT = 1.05
+#: full performance tracing (span trees shipped to the parent) vs bare sweep
+PERF_TRACE_RATIO_LIMIT = 1.05
 
 
 def _baseline_simulate(workload, capacity, backfill=EASY):
@@ -217,4 +220,52 @@ def test_bench_sweep_noop_reporter_overhead():
     assert ratio <= SWEEP_NOOP_RATIO_LIMIT, (
         f"no-op progress reporter costs {ratio:.3f}x the bare sweep in the "
         f"best of 12 paired rounds"
+    )
+
+
+def test_bench_perf_trace_overhead():
+    """Full span tracing stays within 5% of a bare sweep, bit-identically.
+
+    The tracing-on arm runs every cell under a span Profiler (the engines'
+    per-round spans all fire) and ships the span trees to the parent trace
+    — the whole PR 7 pipeline minus file output.  The engine's numpy-heavy
+    scheduling rounds amortize the per-span cost, which is what keeps the
+    hot loop instrumentable at all.  Same paired-round min-of-ratios
+    scoring as the no-op reporter bench above: systematic overhead shows
+    in every round, noise needs only one quiet round to be absolved.
+    """
+    wl = WorkloadSpec(system="theta", days=4.0, seed=5, max_jobs=None)
+    tasks = [
+        SimTask(label=f"{policy}", workload=wl, policy=policy)
+        for policy in ("fcfs", "sjf", "wfp3", "f1")
+    ]
+    run_sweep(tasks[:1])  # warm the per-process trace cache
+
+    arms = [
+        lambda: run_sweep(tasks),
+        lambda: run_sweep(tasks, perf=PerfConfig()),
+    ]
+    ratio = float("inf")
+    plain = traced = None
+    for round_no in range(12):
+        order = (0, 1) if round_no % 2 == 0 else (1, 0)
+        times = [0.0, 0.0]
+        results = [None, None]
+        for arm in order:
+            times[arm], results[arm] = _best_of(arms[arm], repeats=1)
+        if times[1] / times[0] < ratio:
+            ratio = times[1] / times[0]
+            plain, traced = results
+        if round_no >= 2 and ratio <= PERF_TRACE_RATIO_LIMIT:
+            break
+
+    # the guarantee that makes tracing safe to leave on: zero bytes of
+    # difference between instrumented and uninstrumented results
+    assert json.dumps([r.payload() for r in traced]) == json.dumps(
+        [r.payload() for r in plain]
+    )
+
+    assert ratio <= PERF_TRACE_RATIO_LIMIT, (
+        f"perf tracing costs {ratio:.3f}x the bare sweep in the best of "
+        f"12 paired rounds"
     )

@@ -15,7 +15,11 @@ Subcommands::
                     [--profile] [--run-log runs.jsonl] [--progress MODE] ...
     repro report    <runs.jsonl | BENCH_history.jsonl>
                     [--straggler-factor K] [--regression-factor K]
+                    [--perf] [--median-of K] [--format text|json] [--json]
                     [--fail-on-regression]
+    repro profile   <trace.swf> [--policy P] [--backfill MODE]
+                    [--sample-hz HZ] [--trace-out trace.json]
+                    [--stacks-out stacks.txt]
     repro fuzz      [--budget N] [--seed S] [--policy P[,P2,...]]
                     [--capacity C] [--max-jobs N] [--out repro.swf]
     repro study     [--days D] [--seed S] [--report out.md]
@@ -519,10 +523,45 @@ def _render_trajectory(entries: list[dict], key_header: str) -> str:
     )
 
 
+def _render_perf_gate(entries: list[dict], key_header: str) -> str:
+    rows = [
+        [
+            str(e["key"]),
+            str(e["runs"]),
+            f"{e['value']:.3f}",
+            "-" if e["baseline"] is None else f"{e['baseline']:.3f}",
+            "-" if e["ratio"] is None else f"{e['ratio']:.2f}x",
+            "REGRESSED"
+            if e["regressed"]
+            else ("no baseline" if e["ratio"] is None else "ok"),
+        ]
+        for e in entries
+    ]
+    return render_table(
+        [key_header, "runs", "latest (s)", "baseline (s)", "ratio", "verdict"],
+        rows,
+        title="perf gate (baseline = median of preceding runs)",
+    )
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render a run-registry or bench-history JSONL into aggregate tables."""
-    from .obs import SweepReport, read_records, trajectory
+    from .obs import SweepReport, perf_gate, read_records, trajectory
 
+    fmt = args.format or "text"
+    # unless overridden, the run-over-run trajectory flags at 1.3x while
+    # the --perf gate defaults to perf_gate()'s 1.5x: a median baseline
+    # absorbs historic noise but the latest run is still a single sample,
+    # so the gate needs the wider band to tolerate machine jitter
+    factor = args.regression_factor
+    if factor is None:
+        factor = 1.5 if args.perf else 1.3
+    if args.median_of < 1:
+        print("--median-of must be >= 1", file=sys.stderr)
+        return 2
+    if args.perf and factor <= 1.0:
+        print("--regression-factor must be > 1 with --perf", file=sys.stderr)
+        return 2
     try:
         records = read_records(args.log)
     except OSError as exc:
@@ -549,22 +588,126 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         return 2
 
-    print(f"{args.log}: {len(records)} record(s), {kind}")
-    if kind == "run registry":
-        print(SweepReport(records, straggler_factor=args.straggler_factor).render())
-    entries = trajectory(
-        records, key_field, regression_factor=args.regression_factor
+    report = (
+        SweepReport(records, straggler_factor=args.straggler_factor)
+        if kind == "run registry"
+        else None
     )
-    if entries:
-        print(_render_trajectory(entries, key_field))
-    regressed = [e for e in entries if e["regressed"]]
-    if regressed:
-        print(
-            f"{len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "
-            f">= {args.regression_factor:g}x their predecessor"
+    entries = trajectory(records, key_field, regression_factor=factor)
+    gate = (
+        perf_gate(
+            records,
+            key_field,
+            window=args.median_of,
+            regression_factor=factor,
         )
-        if args.fail_on_regression:
-            return 1
+        if args.perf
+        else None
+    )
+    # --perf grounds the verdict in the noise-aware gate; otherwise the
+    # run-over-run trajectory flags decide
+    regressed = [e for e in (gate if gate is not None else entries) if e["regressed"]]
+
+    if fmt == "json":
+        doc = {
+            "kind": kind,
+            "path": str(args.log),
+            "n_records": len(records),
+            "trajectory": entries,
+            "regressed_keys": sorted({str(e["key"]) for e in regressed}),
+        }
+        if report is not None:
+            doc["report"] = report.to_dict()
+        if gate is not None:
+            doc["perf_gate"] = gate
+        print(json.dumps(doc, indent=1))
+    else:
+        print(f"{args.log}: {len(records)} record(s), {kind}")
+        if report is not None:
+            print(report.render())
+        if entries:
+            print(_render_trajectory(entries, key_field))
+        if gate is not None:
+            print(_render_perf_gate(gate, key_field))
+        if regressed:
+            what = (
+                f">= {factor:g}x their median-of-"
+                f"{args.median_of} baseline"
+                if gate is not None
+                else f">= {factor:g}x their predecessor"
+            )
+            print(
+                f"{len(regressed)} entr{'y' if len(regressed) == 1 else 'ies'} "
+                + what
+            )
+    if regressed and args.fail_on_regression:
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one in-process simulation; optionally export trace/stacks."""
+    from .obs import (
+        ChromeTraceExporter,
+        Profiler,
+        SamplingProfiler,
+        collapse_stacks,
+        format_collapsed,
+    )
+
+    if args.sample_hz < 0:
+        print("--sample-hz must be >= 0", file=sys.stderr)
+        return 2
+    for path in (args.trace_out, args.stacks_out):
+        if path is not None:
+            try:
+                _ensure_parent(path)
+            except ValueError as exc:
+                print(f"invalid output: {exc}", file=sys.stderr)
+                return 2
+    trace = read_swf(args.trace)
+    workload = workload_from_trace(trace)
+    if args.max_jobs:
+        workload = workload.slice(args.max_jobs)
+    backfill = _BACKFILLS[args.backfill](args)
+    prof = Profiler()
+    sampler = SamplingProfiler(hz=args.sample_hz) if args.sample_hz > 0 else None
+    if sampler is not None:
+        sampler.start()
+    try:
+        simulate(
+            workload,
+            trace.system.schedulable_units,
+            args.policy,
+            backfill,
+            profiler=prof,
+        )
+    except KeyError as exc:
+        print(f"unknown policy: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if sampler is not None:
+            sampler.stop()
+    print(prof.report())
+    payload = prof.to_payload()
+    if args.trace_out:
+        exporter = ChromeTraceExporter()
+        exporter.add_profile(payload, lane="simulate")
+        exporter.write(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out} (open in Perfetto)")
+    if args.stacks_out:
+        samplers = [sampler.to_payload()] if sampler is not None else []
+        args.stacks_out.write_text(
+            format_collapsed(collapse_stacks([payload], samplers)),
+            encoding="utf-8",
+        )
+        print(f"wrote collapsed stacks to {args.stacks_out}")
+    if sampler is not None:
+        sp = sampler.to_payload()
+        print(
+            f"(sampler: {sp['n_samples']} sample(s) at {args.sample_hz:g} Hz, "
+            f"{sp['n_unmatched']} outside repro.*)"
+        )
     return 0
 
 
@@ -643,6 +786,26 @@ def _cmd_study(args: argparse.Namespace) -> int:
         for takeaway in study.takeaways():
             print(takeaway)
     return 0
+
+
+class _FormatAction(argparse.Action):
+    """Reject conflicting output-format flags instead of last-one-wins.
+
+    ``--format text --json`` (or ``--format text --format json``) is almost
+    certainly a script bug; silently honouring the last flag would make a
+    human-readable pipeline emit JSON (or vice versa), so conflicting
+    repeats exit 2 via ``parser.error``.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        value = self.const if self.const is not None else values
+        prev = getattr(namespace, self.dest, None)
+        if prev is not None and prev != value:
+            parser.error(
+                f"conflicting output formats: {prev!r} already selected, "
+                f"{option_string} asks for {value!r}"
+            )
+        setattr(namespace, self.dest, value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -846,15 +1009,84 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--regression-factor",
         type=float,
-        default=1.3,
-        help="flag entries at least this multiple of their predecessor",
+        default=None,
+        help="flag entries at least this multiple of their predecessor "
+        "(default 1.3), or with --perf of their median-of-K baseline "
+        "(default 1.5 — the single latest sample needs headroom for "
+        "machine jitter)",
+    )
+    p.add_argument(
+        "--perf",
+        action="store_true",
+        help="noise-aware perf gate: compare each key's latest wall "
+        "against the median of its preceding runs instead of the "
+        "run-over-run trajectory",
+    )
+    p.add_argument(
+        "--median-of",
+        type=int,
+        default=5,
+        metavar="K",
+        help="baseline window for --perf: median of up to K preceding "
+        "runs per key",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        action=_FormatAction,
+        default=None,
+        help="output format (default text); conflicting repeats exit 2",
+    )
+    p.add_argument(
+        "--json",
+        action=_FormatAction,
+        nargs=0,
+        const="json",
+        dest="format",
+        help="shorthand for --format json",
     )
     p.add_argument(
         "--fail-on-regression",
         action="store_true",
-        help="exit 1 if any trajectory entry is flagged",
+        help="exit 1 if any entry is flagged (trajectory, or the perf "
+        "gate under --perf)",
     )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile one simulation run: span breakdown, Chrome trace, "
+        "collapsed stacks (docs/OBSERVABILITY.md, 'Performance tracing')",
+    )
+    p.add_argument("trace", type=Path)
+    p.add_argument("--policy", default="fcfs", help="queue policy")
+    p.add_argument(
+        "--backfill", choices=sorted(_BACKFILLS), default="easy"
+    )
+    p.add_argument("--relax", type=float, default=0.1)
+    p.add_argument("--max-jobs", type=int, default=0)
+    p.add_argument(
+        "--sample-hz",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="also attach a sampling profiler at HZ samples/s "
+        "(0 = spans only)",
+    )
+    p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto / "
+        "chrome://tracing)",
+    )
+    p.add_argument(
+        "--stacks-out",
+        type=Path,
+        default=None,
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
         "fuzz",

@@ -98,6 +98,39 @@ def main(argv: list[str] | None = None) -> int:
         help="append-only journal of completed cells; rerunning with the "
         "same journal replays them without recomputing",
     )
+    tracing = parser.add_argument_group(
+        "performance tracing (docs/OBSERVABILITY.md, 'Performance tracing')"
+    )
+    tracing.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the sweep (open in "
+        "Perfetto / chrome://tracing)",
+    )
+    tracing.add_argument(
+        "--stacks-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
+    tracing.add_argument(
+        "--sample-hz",
+        type=float,
+        default=0.0,
+        metavar="HZ",
+        help="also run a sampling profiler in each worker at HZ samples/s "
+        "(0 = spans only)",
+    )
+    tracing.add_argument(
+        "--fine-spans",
+        action="store_true",
+        help="record the engines' per-scheduling-round spans (policy sort, "
+        "backfill scan, event drain); detailed but can slow the sweep by "
+        "tens of percent — the default records coarse cell/simulate spans",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -105,6 +138,22 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--task-timeout must be positive")
     if args.task_retries is not None and args.task_retries < 1:
         parser.error("--task-retries must be >= 1")
+    if args.sample_hz < 0:
+        parser.error("--sample-hz must be >= 0")
+    if args.sample_hz > 0 and not (args.trace_out or args.stacks_out):
+        parser.error("--sample-hz requires --trace-out or --stacks-out")
+    if args.fine_spans and not (args.trace_out or args.stacks_out):
+        parser.error("--fine-spans requires --trace-out or --stacks-out")
+    perf = None
+    if args.trace_out or args.stacks_out:
+        from ..obs import PerfConfig
+
+        perf = PerfConfig(
+            sampler_hz=args.sample_hz,
+            fine_spans=args.fine_spans,
+            trace_out=args.trace_out,
+            stacks_out=args.stacks_out,
+        )
 
     if args.experiment == "list":
         for key, (_, desc) in REGISTRY.items():
@@ -143,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["retries"] = args.task_retries
             if args.journal is not None and "journal" in params:
                 kwargs["journal"] = args.journal
+            if perf is not None and "perf" in params:
+                kwargs["perf"] = perf
             result = run_experiment(exp_id, **kwargs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
@@ -156,6 +207,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"(cache {args.cache_dir}: {cache.hits - hits0} hit(s), "
                 f"{cache.misses - misses0} miss(es))"
             )
+        if perf is not None:
+            if "perf" not in params:
+                print(
+                    f"({exp_id} does not support performance tracing; "
+                    "--trace-out/--stacks-out ignored)",
+                    file=sys.stderr,
+                )
+            elif perf.trace is not None:
+                written = [str(p) for p in (args.trace_out, args.stacks_out) if p]
+                print(
+                    f"(trace: {perf.trace.n_cells} cell(s) across "
+                    f"{len(perf.trace.workers())} worker(s) -> "
+                    + ", ".join(written)
+                    + ")"
+                )
         print(f"\n({exp_id} completed in {time.time() - t0:.1f}s)\n")
     return 0
 

@@ -45,6 +45,7 @@ def run(
     on_error: str = "raise",
     retries: RetryPolicy | int | None = None,
     journal: SweepJournal | str | Path | None = None,
+    perf=None,
 ) -> ExperimentResult:
     """Policy x system grid under EASY backfilling."""
     tasks = [
@@ -69,6 +70,7 @@ def run(
             on_error=on_error,
             retry=retries,
             journal=journal,
+            perf=perf,
         )
         if r is not None
     }

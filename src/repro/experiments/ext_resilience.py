@@ -118,13 +118,16 @@ def run(
     on_error: str = "raise",
     retries=None,
     journal=None,
+    perf=None,
 ) -> ExperimentResult:
     """Failure-rate x resilience-policy x backfill-mode sweep.
 
     ``timeout`` / ``on_error`` / ``retries`` / ``journal`` pass straight
     through to :func:`repro.runner.run_sweep` (docs/PARALLELISM.md,
     "Crash-safe sweeps"); under ``on_error="skip"`` missing cells render
-    as ``FAILED`` rows.
+    as ``FAILED`` rows.  ``perf`` (a :class:`repro.obs.PerfConfig`)
+    enables cross-process performance tracing (docs/OBSERVABILITY.md,
+    "Performance tracing").
     """
     trace = get_traces(days, seed)[system]
     workload = workload_from_trace(trace).slice(max_jobs)
@@ -147,6 +150,7 @@ def run(
             on_error=on_error,
             retry=retries,
             journal=journal,
+            perf=perf,
         )
         if r is not None
     }

@@ -45,6 +45,7 @@ def run(
     on_error: str = "raise",
     retries=None,
     journal=None,
+    perf=None,
 ) -> ExperimentResult:
     """Reproduce Table II: relaxed vs adaptive-relaxed backfilling.
 
@@ -52,7 +53,9 @@ def run(
     both :func:`repro.runner.run_sweep` phases (docs/PARALLELISM.md,
     "Crash-safe sweeps").  A system whose relaxed run fails under
     ``on_error="skip"`` is dropped from the adaptive phase (its denominator
-    is unknown) and rendered as a ``FAILED`` row.
+    is unknown) and rendered as a ``FAILED`` row.  ``perf`` (a
+    :class:`repro.obs.PerfConfig`) is shared by both phases, so the two
+    sweeps accumulate into one trace (docs/OBSERVABILITY.md).
     """
     sweep_opts = dict(
         jobs=jobs,
@@ -61,6 +64,7 @@ def run(
         on_error=on_error,
         retry=retries,
         journal=journal,
+        perf=perf,
     )
     specs = {
         name: WorkloadSpec(system=name, days=days, seed=seed, max_jobs=max_jobs)

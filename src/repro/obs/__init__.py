@@ -22,9 +22,16 @@ replays captured streams into audits and schedule timelines.
 The layers *above* the engines get the same treatment:
 :mod:`repro.obs.runs` logs per-task sweep telemetry (``RunRegistry``),
 aggregates it (``SweepReport``), streams live progress
-(``ProgressReporter`` backends) and computes perf trajectories;
+(``ProgressReporter`` backends) and computes perf trajectories plus the
+noise-aware :func:`~repro.obs.runs.perf_gate` regression verdicts;
 :mod:`repro.obs.training` records per-iteration model-fit loss curves
 (``TrainingLog``) via the ``callback=`` hooks on :mod:`repro.ml` models.
+
+Cross-process performance tracing lives in :mod:`repro.obs.perf`
+(``PerfConfig`` / ``SamplingProfiler`` / ``SweepTrace`` — sweep workers
+ship span trees and sample stacks back to the parent as sidecar payloads)
+and :mod:`repro.obs.export_chrome` (Perfetto-loadable Chrome trace-event
+JSON and Brendan-Gregg collapsed flamegraph stacks).
 
 See ``docs/OBSERVABILITY.md`` for the event schema and worked examples.
 The stream-level audit (:func:`repro.obs.timeline.check_events`) is also
@@ -34,7 +41,21 @@ invariant checks and a differential fuzzer on top — ``docs/TESTING.md``.
 
 from . import events
 from .events import CAPACITY_EVENTS, EVENT_KINDS, make_event
-from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, Metrics
+from .export_chrome import (
+    ChromeTraceExporter,
+    collapse_spans,
+    collapse_stacks,
+    format_collapsed,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    merge_metric_payloads,
+)
+from .perf import PerfConfig, SamplingProfiler, SweepTrace
 from .profiling import NULL_PROFILER, NullProfiler, Profiler
 from .tracer import (
     NULL_TRACER,
@@ -52,6 +73,7 @@ from .runs import (
     RunRegistry,
     SweepReport,
     TtyProgress,
+    perf_gate,
     read_records,
     trajectory,
 )
@@ -79,9 +101,17 @@ __all__ = [
     "Histogram",
     "Metrics",
     "DEFAULT_BUCKETS",
+    "merge_metric_payloads",
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",
+    "PerfConfig",
+    "SamplingProfiler",
+    "SweepTrace",
+    "ChromeTraceExporter",
+    "collapse_spans",
+    "collapse_stacks",
+    "format_collapsed",
     "check_events",
     "read_jsonl",
     "render_timeline",
@@ -97,5 +127,6 @@ __all__ = [
     "JsonlProgress",
     "read_records",
     "trajectory",
+    "perf_gate",
     "TrainingLog",
 ]

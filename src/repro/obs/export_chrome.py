@@ -1,0 +1,220 @@
+"""Chrome trace-event + collapsed-stack export for profiler payloads.
+
+Two render targets for :meth:`repro.obs.profiling.Profiler.to_payload`
+span trees (and :class:`~repro.obs.perf.SamplingProfiler` sample stacks):
+
+* :class:`ChromeTraceExporter` — the Chrome trace-event JSON format
+  (``{"traceEvents": [...]}``) understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Each profiler
+  payload becomes complete (``"ph": "X"``) events on a named process
+  lane, so a sweep renders as per-worker swimlanes with nested engine
+  spans; parent-side instants (cache hits, retries) render as ``"i"``
+  marks.  Timestamps are µs relative to the earliest event, reconstructed
+  from each payload's wall-clock epoch so lanes from different processes
+  align.
+
+* :func:`collapse_stacks` / :func:`format_collapsed` — Brendan Gregg's
+  collapsed-stack format (``"root;child;leaf <weight>"`` per line),
+  directly consumable by ``flamegraph.pl`` or speedscope.  Span trees are
+  weighted by *self* µs per tree path; sampler stacks by sample count
+  scaled to µs (``1e6 / hz`` per sample), so both sources plot on one
+  comparable flamegraph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "ChromeTraceExporter",
+    "collapse_spans",
+    "collapse_stacks",
+    "format_collapsed",
+]
+
+
+class ChromeTraceExporter:
+    """Accumulates trace events across processes; renders one JSON trace."""
+
+    #: tid used for span tracks within a lane
+    SPAN_TID = 1
+    #: tid used for instant-mark tracks within a lane
+    MARK_TID = 0
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._lanes: dict[str, int] = {}
+
+    def lane(self, name: str) -> int:
+        """Pid for a named lane, allocating (and labelling) it on first use."""
+        pid = self._lanes.get(name)
+        if pid is None:
+            pid = len(self._lanes) + 1
+            self._lanes[name] = pid
+        return pid
+
+    def add_profile(self, payload: dict, lane: str | None = None) -> int:
+        """Add one profiler payload's span tree as ``X`` events.
+
+        ``lane`` defaults to the payload's worker tag (falling back to its
+        pid), so worker payloads group into per-worker swimlanes.  Returns
+        the number of events added.  Errored spans carry an ``error`` arg
+        and force-closed ones ``partial: true`` — Perfetto surfaces both
+        in the selection panel.
+        """
+        if lane is None:
+            lane = payload.get("worker") or f"pid-{payload.get('pid')}"
+        pid = self.lane(lane)
+        epoch_us = 1e6 * float(payload.get("epoch_unix", 0.0))
+        n = 0
+        for rec in payload.get("spans", ()):
+            args = dict(rec.get("args") or {})
+            if rec.get("error") is not None:
+                args["error"] = rec["error"]
+            if rec.get("partial"):
+                args["partial"] = True
+            event = {
+                "name": rec["name"],
+                "cat": "span",
+                "ph": "X",
+                "ts": epoch_us + 1e6 * rec["t0"],
+                "dur": max(1e6 * (rec["t1"] - rec["t0"]), 0.0),
+                "pid": pid,
+                "tid": self.SPAN_TID,
+            }
+            if args:
+                event["args"] = args
+            self._events.append(event)
+            n += 1
+        return n
+
+    def add_instant(self, name: str, ts_unix: float, lane: str,
+                    args: dict | None = None) -> None:
+        """Add an instant mark (``"ph": "i"``) on ``lane`` at a unix time."""
+        event = {
+            "name": name,
+            "cat": "mark",
+            "ph": "i",
+            "s": "p",
+            "ts": 1e6 * ts_unix,
+            "pid": self.lane(lane),
+            "tid": self.MARK_TID,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def to_dict(self) -> dict:
+        """The trace as a Chrome trace-event JSON object.
+
+        Rebases timestamps so the earliest event sits at t=0 (small µs
+        values keep Perfetto's timeline readable) and prepends the
+        process/thread metadata naming each lane.
+        """
+        base = min((e["ts"] for e in self._events), default=0.0)
+        events: list[dict] = []
+        for name, pid in self._lanes.items():
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name},
+            })
+            events.append({
+                "name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"sort_index": pid},
+            })
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": self.SPAN_TID, "args": {"name": "spans"},
+            })
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid,
+                "tid": self.MARK_TID, "args": {"name": "marks"},
+            })
+        for e in self._events:
+            out = dict(e)
+            out["ts"] = round(e["ts"] - base, 3)
+            if "dur" in out:
+                out["dur"] = round(out["dur"], 3)
+            events.append(out)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace JSON to ``path`` (Perfetto-loadable)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+
+def collapse_spans(payload: dict) -> dict[str, int]:
+    """Collapse one profiler payload's span tree to weighted call paths.
+
+    Each span contributes its *self* time (elapsed minus child spans) in
+    integer µs to the root-first ``"a;b;c"`` path of span names leading to
+    it, so a flamegraph of the result has frame widths proportional to
+    where time was actually spent.
+    """
+    records = payload.get("spans", ())
+    by_id = {rec["id"]: rec for rec in records}
+    child_s: dict[int, float] = {}
+    for rec in records:
+        parent = rec.get("parent", 0)
+        if parent:
+            child_s[parent] = child_s.get(parent, 0.0) + (rec["t1"] - rec["t0"])
+
+    paths: dict[int, str] = {}
+
+    def path_of(rec: dict) -> str:
+        sid = rec["id"]
+        cached = paths.get(sid)
+        if cached is None:
+            parent = by_id.get(rec.get("parent", 0))
+            cached = rec["name"] if parent is None else (
+                f"{path_of(parent)};{rec['name']}"
+            )
+            paths[sid] = cached
+        return cached
+
+    out: dict[str, int] = {}
+    for rec in records:
+        self_us = round(
+            1e6 * max(rec["t1"] - rec["t0"] - child_s.get(rec["id"], 0.0), 0.0)
+        )
+        if self_us <= 0:
+            continue
+        path = path_of(rec)
+        out[path] = out.get(path, 0) + self_us
+    return out
+
+
+def collapse_stacks(
+    profiles: Iterable[dict] = (),
+    samplers: Iterable[dict] = (),
+) -> dict[str, int]:
+    """Merge span trees and sampler payloads into one collapsed-stack dict.
+
+    Span paths keep their self-µs weights; sampler stacks convert sample
+    counts to µs at the sampler's rate so both sources share a unit.
+    Sampler paths are module-qualified function names and span paths are
+    span names, so the two families form distinct flamegraph roots.
+    """
+    out: dict[str, int] = {}
+    for payload in profiles:
+        for path, weight in collapse_spans(payload).items():
+            out[path] = out.get(path, 0) + weight
+    for payload in samplers:
+        hz = float(payload.get("hz", 0.0)) or 1.0
+        us_per_sample = 1e6 / hz
+        for path, count in payload.get("stacks", {}).items():
+            weight = round(count * us_per_sample)
+            if weight > 0:
+                out[path] = out.get(path, 0) + weight
+    return out
+
+
+def format_collapsed(stacks: dict[str, int]) -> str:
+    """Render collapsed stacks as ``"path weight"`` lines (Gregg format)."""
+    return "".join(
+        f"{path} {weight}\n" for path, weight in sorted(stacks.items())
+    )

@@ -35,6 +35,7 @@ __all__ = [
     "Histogram",
     "Metrics",
     "DEFAULT_BUCKETS",
+    "merge_metric_payloads",
 ]
 
 #: default histogram bounds: log-spaced, 3 buckets per decade, 1e-3 .. 1e7
@@ -314,3 +315,65 @@ class Metrics:
                 lines.append(f"{name}_sum {fmt(inst.sum)}")
                 lines.append(f"{name}_count {inst.count}")
         return "\n".join(lines) + "\n"
+
+
+def merge_metric_payloads(payloads) -> dict:
+    """Merge :meth:`Metrics.to_dict` snapshots from many processes.
+
+    This is why histogram buckets are fixed and log-spaced: snapshots from
+    different sweep workers merge bucket-for-bucket without rebinning.
+    Counters and histogram counts/sums add; counter-like extrema (min/max)
+    combine; gauges keep the last snapshot's value (a point-in-time read
+    has no cross-process sum).  Per-run gauge *time series* are dropped —
+    sim-time axes from unrelated cells don't align, and the per-cell
+    series survive unmerged in each cell's own sidecar payload.
+
+    Raises :class:`ValueError` when the same histogram name arrives with
+    different bucket bounds.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    n = 0
+    for payload in payloads:
+        n += 1
+        for name, value in payload.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in payload.get("gauges", {}).items():
+            gauges[name] = value
+        for name, hist in payload.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                }
+                continue
+            if merged["bounds"] != list(hist["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bucket bounds "
+                    "across payloads; refusing to merge"
+                )
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+            for extremum, pick in (("min", min), ("max", max)):
+                ours, theirs = merged[extremum], hist[extremum]
+                if ours is None:
+                    merged[extremum] = theirs
+                elif theirs is not None:
+                    merged[extremum] = pick(ours, theirs)
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+    for hist in histograms.values():
+        hist["mean"] = hist["sum"] / hist["count"] if hist["count"] else None
+    return {
+        "n_merged": n,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }

@@ -40,6 +40,7 @@ import time
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from statistics import median
 from typing import IO, Iterable, Sequence
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "TtyProgress",
     "JsonlProgress",
     "trajectory",
+    "perf_gate",
     "read_records",
     "repair_torn_tail",
 ]
@@ -640,4 +642,66 @@ def trajectory(
             }
         )
         last[key] = float(value)
+    return out
+
+
+def perf_gate(
+    records: Sequence[dict],
+    key_field: str,
+    value_field: str = "wall_seconds",
+    window: int = 5,
+    regression_factor: float = 1.5,
+) -> list[dict]:
+    """Noise-aware perf-regression verdicts over a keyed timing log.
+
+    Where :func:`trajectory` flags every consecutive jump (good for
+    eyeballing history), the gate asks one question per key: *is the
+    latest wall time a regression?*  The baseline is the **median** of up
+    to ``window`` values immediately preceding the latest one — a single
+    noisy historical entry cannot fake or mask a regression the way a
+    last-vs-previous ratio can.  Verdict: ``regressed`` when
+    ``latest >= regression_factor * median(baseline)``.
+
+    Record filtering matches :func:`trajectory` (cache hits and
+    failed/retried rows are ignored).  Keys with no prior history pass
+    with ``ratio: None`` — a brand-new bench has nothing to regress
+    against.  This is what ``repro report --perf`` runs against
+    ``BENCH_history.jsonl`` in CI (docs/OBSERVABILITY.md).
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if regression_factor <= 1.0:
+        raise ValueError("regression_factor must be > 1")
+    series: dict[str, list[float]] = {}
+    for record in records:
+        key = record.get(key_field)
+        value = record.get(value_field)
+        if key is None or not isinstance(value, (int, float)) or record.get("cached"):
+            continue
+        if _status(record) != "ok":
+            continue
+        series.setdefault(key, []).append(float(value))
+    out: list[dict] = []
+    for key, values in series.items():
+        current = values[-1]
+        baseline_values = values[max(0, len(values) - 1 - window):-1]
+        if baseline_values:
+            baseline = float(median(baseline_values))
+            ratio = current / baseline if baseline > 0 else math.inf
+            regressed = ratio >= regression_factor
+        else:
+            baseline = None
+            ratio = None
+            regressed = False
+        out.append(
+            {
+                "key": key,
+                "runs": len(values),
+                "value": current,
+                "baseline": baseline,
+                "n_baseline": len(baseline_values),
+                "ratio": ratio,
+                "regressed": regressed,
+            }
+        )
     return out

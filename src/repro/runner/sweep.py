@@ -25,6 +25,7 @@ exactly across worker counts.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import multiprocessing
@@ -54,6 +55,7 @@ from .journal import SweepJournal
 from .watchdog import FailureReport, RetryPolicy, SweepError, run_watchdog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import at runtime
+    from ..obs.perf import PerfConfig
     from ..obs.runs import ProgressReporter, RunRegistry
     from ..testkit.chaos import ChaosConfig
 
@@ -191,10 +193,11 @@ class TaskResult:
     ``metrics`` always carries the full :class:`ScheduleMetrics` key set;
     ``resilience`` is present for fault-injected cells.  ``cached`` marks
     results served from the on-disk cache without running a simulation.
-    ``wall_seconds``/``worker`` are per-invocation telemetry (where and
-    how long the cell ran) — like ``label`` and ``cached`` they are
-    excluded from :meth:`payload`, so caching and cross-worker identity
-    comparisons never see them.
+    ``wall_seconds``/``worker``/``perf`` are per-invocation telemetry
+    (where and how long the cell ran, and — under ``run_sweep(perf=)`` —
+    the worker's serialized span tree / sample stacks / metrics sidecar) —
+    like ``label`` and ``cached`` they are excluded from :meth:`payload`,
+    so caching and cross-worker identity comparisons never see them.
     """
 
     label: str
@@ -206,6 +209,7 @@ class TaskResult:
     cached: bool = False
     wall_seconds: float = 0.0
     worker: str = ""
+    perf: dict | None = None
 
     def schedule_metrics(self) -> ScheduleMetrics:
         return ScheduleMetrics(**self.metrics)
@@ -239,8 +243,8 @@ class TaskResult:
         )
 
 
-def _execute_task(task: SimTask) -> TaskResult:
-    """Run one cell to completion (worker-side entry point)."""
+def _run_cell(task: SimTask, profiler=None, metrics=None) -> TaskResult:
+    """Run one cell's simulation and summarize it (worker-side core)."""
     if isinstance(task.workload, WorkloadSpec):
         workload, default_capacity = task.workload.materialize()
         capacity = task.capacity if task.capacity is not None else default_capacity
@@ -257,6 +261,8 @@ def _execute_task(task: SimTask) -> TaskResult:
             task.faults,
             track_queue=task.track_queue,
             kill_at_walltime=task.kill_at_walltime,
+            metrics=metrics,
+            profiler=profiler,
         )
         resilience = compute_resilience_metrics(result).as_dict()
     else:
@@ -267,9 +273,11 @@ def _execute_task(task: SimTask) -> TaskResult:
             task.backfill,
             track_queue=task.track_queue,
             kill_at_walltime=task.kill_at_walltime,
+            metrics=metrics,
+            profiler=profiler,
         )
         resilience = None
-    metrics = compute_metrics(result).as_dict()
+    metrics_dict = compute_metrics(result).as_dict()
     max_queue = None
     if task.track_queue:
         samples = result.queue_samples
@@ -278,13 +286,73 @@ def _execute_task(task: SimTask) -> TaskResult:
         label=task.label,
         fingerprint=task.fingerprint(),
         summary=result.to_dict(),
-        metrics=metrics,
+        metrics=metrics_dict,
         resilience=resilience,
         max_queue=max_queue,
     )
 
 
-def _execute_indexed(item: tuple[int, SimTask]) -> tuple[int, TaskResult, float, str]:
+def _perf_payload(prof, sampler, metrics) -> dict:
+    """Assemble one cell's perf sidecar (force-closes open spans)."""
+    payload: dict = {"profile": prof.to_payload()}
+    if sampler is not None:
+        payload["sampler"] = sampler.to_payload()
+    if metrics is not None:
+        payload["metrics"] = metrics.to_dict()
+    return payload
+
+
+def _execute_task(task: SimTask, perf: "PerfConfig | None" = None) -> TaskResult:
+    """Run one cell to completion (worker-side entry point).
+
+    With ``perf`` set, the cell runs under a span :class:`Profiler` (and
+    optionally a :class:`~repro.obs.perf.SamplingProfiler` / a
+    :class:`~repro.obs.metrics.Metrics` registry) whose serialized
+    payloads ride back on ``TaskResult.perf`` — pure observation, the
+    simulation output is bit-identical either way.  If the cell raises,
+    the partial span tree is attached to the exception as
+    ``perf_payload`` so the watchdog can ship it to the parent instead of
+    dropping the timing data with the traceback.
+    """
+    if perf is None:
+        return _run_cell(task)
+
+    from ..obs.profiling import Profiler
+
+    prof = Profiler(
+        worker=multiprocessing.current_process().name, fine=perf.fine_spans
+    )
+    sampler = None
+    if perf.sampler_hz > 0:
+        from ..obs.perf import SamplingProfiler
+
+        sampler = SamplingProfiler(hz=perf.sampler_hz).start()
+    metrics = None
+    if perf.collect_metrics:
+        from ..obs.metrics import Metrics
+
+        metrics = Metrics()
+    try:
+        with prof.span("cell", label=task.label, policy=task.policy):
+            result = _run_cell(task, profiler=prof, metrics=metrics)
+    except BaseException as exc:
+        if sampler is not None:
+            sampler.stop()
+        try:
+            exc.perf_payload = _perf_payload(prof, sampler, metrics)
+        except Exception:  # pragma: no cover - exotic exception classes
+            pass
+        raise
+    if sampler is not None:
+        sampler.stop()
+    return dataclasses.replace(
+        result, perf=_perf_payload(prof, sampler, metrics)
+    )
+
+
+def _execute_indexed(
+    item: tuple[int, SimTask], perf: "PerfConfig | None" = None
+) -> tuple[int, TaskResult, float, str]:
     """Worker-side wrapper: run one indexed cell and time it.
 
     Returns ``(index, result, wall_seconds, worker_name)`` so the parent
@@ -294,7 +362,7 @@ def _execute_indexed(item: tuple[int, SimTask]) -> tuple[int, TaskResult, float,
     """
     i, task = item
     t0 = time.perf_counter()
-    result = _execute_task(task)
+    result = _execute_task(task, perf=perf)
     wall = time.perf_counter() - t0
     return i, result, wall, multiprocessing.current_process().name
 
@@ -417,6 +485,7 @@ def run_sweep(
     journal: SweepJournal | str | Path | None = None,
     chaos: "ChaosConfig | None" = None,
     failures_out: FailureReport | None = None,
+    perf: "PerfConfig | None" = None,
 ) -> list[TaskResult | None]:
     """Execute a sweep, fanning cache misses out over ``jobs`` workers.
 
@@ -468,6 +537,15 @@ def run_sweep(
       reporter keeps the unobserved path free of record construction.
     * ``stats_out`` — a :class:`SweepStats` to fill with cache hit/miss
       deltas, journal/failure/retry counts and per-phase wall time.
+    * ``perf`` — a :class:`repro.obs.perf.PerfConfig`; workers run their
+      cells under span profilers (plus an optional sampling profiler and
+      metrics registry) and ship the serialized payloads back as result
+      sidecars, while the parent records its own phase spans and instant
+      events (cache hits, journal replays, watchdog retries, failures)
+      into ``perf.trace`` — one :class:`~repro.obs.perf.SweepTrace` per
+      config, accumulated across ``run_sweep`` calls and written to
+      ``perf.trace_out`` / ``perf.stacks_out`` after each sweep
+      (docs/OBSERVABILITY.md → "Performance tracing").
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -492,12 +570,27 @@ def run_sweep(
     report = failures_out if failures_out is not None else FailureReport()
     report.clear()
 
+    trace = None
+    worker_perf = None
+    if perf is not None:
+        from ..obs.perf import SweepTrace
+        from ..obs.profiling import Profiler
+
+        if perf.trace is None:
+            perf.trace = SweepTrace()
+        trace = perf.trace
+        pprof = Profiler(worker="sweep-parent")
+        worker_perf = perf.worker_config()
+    else:
+        from ..obs.profiling import NULL_PROFILER as pprof
+
     t_start = time.perf_counter()
     hits0 = cache.hits if cache is not None else 0
     misses0 = cache.misses if cache is not None else 0
     corrupt0 = cache.corrupt if cache is not None else 0
 
-    fingerprints = [t.fingerprint() for t in tasks]
+    with pprof.span("fingerprint", n_tasks=len(tasks)):
+        fingerprints = [t.fingerprint() for t in tasks]
     t_fingerprinted = time.perf_counter()
 
     journaled = journal.completed() if journal is not None else {}
@@ -507,23 +600,28 @@ def run_sweep(
     results: dict[int, TaskResult] = {}
     misses: list[int] = []
     journal_hits = 0
-    for i, (task, fp) in enumerate(zip(tasks, fingerprints)):
-        if fp in journaled:
-            results[i] = TaskResult.from_payload(
-                task.label, fp, journaled[fp], cached=True
-            )
-            journal_hits += 1
-            continue
-        payload = cache.get(fp) if cache is not None else None
-        if payload is not None:
-            results[i] = TaskResult.from_payload(
-                task.label, fp, payload, cached=True
-            )
-            if journal is not None:
-                # journal the hit so a resume never depends on the cache
-                journal.record(fp, payload)
-        else:
-            misses.append(i)
+    with pprof.span("cache_probe"):
+        for i, (task, fp) in enumerate(zip(tasks, fingerprints)):
+            if fp in journaled:
+                results[i] = TaskResult.from_payload(
+                    task.label, fp, journaled[fp], cached=True
+                )
+                journal_hits += 1
+                if trace is not None:
+                    trace.add_event("journal_replay", task.label)
+                continue
+            payload = cache.get(fp) if cache is not None else None
+            if payload is not None:
+                results[i] = TaskResult.from_payload(
+                    task.label, fp, payload, cached=True
+                )
+                if trace is not None:
+                    trace.add_event("cache_hit", task.label)
+                if journal is not None:
+                    # journal the hit so a resume never depends on the cache
+                    journal.record(fp, payload)
+            else:
+                misses.append(i)
     t_probed = time.perf_counter()
 
     if progress is None:
@@ -558,6 +656,8 @@ def run_sweep(
         task_seconds += wall
         res = dataclasses.replace(res, wall_seconds=wall, worker=worker)
         results[i] = res
+        if trace is not None and res.perf is not None:
+            trace.add_cell(res.label, res.perf)
         if cache is not None:
             cache.put(fingerprints[i], res.payload())
             if chaos is not None:
@@ -575,6 +675,13 @@ def run_sweep(
     def _terminal_failure(i: int, failure) -> None:
         nonlocal seq, done
         report.failures.append(failure)
+        if trace is not None:
+            trace.add_event(
+                "failed", failure.label, failure_kind=failure.kind,
+                attempt=failure.attempt,
+            )
+            if failure.perf is not None:
+                trace.add_cell(failure.label, failure.perf, failed=True)
         if observing:
             record = _failure_record(failure, tasks[i], seq, terminal=True)
             if registry is not None:
@@ -586,6 +693,13 @@ def run_sweep(
     def _retried(i: int, failure) -> None:
         nonlocal seq
         report.retries.append(failure)
+        if trace is not None:
+            trace.add_event(
+                "retry", failure.label, failure_kind=failure.kind,
+                attempt=failure.attempt,
+            )
+            if failure.perf is not None:
+                trace.add_cell(failure.label, failure.perf, failed=True)
         if observing:
             record = _failure_record(failure, tasks[i], seq, terminal=False)
             if registry is not None:
@@ -599,18 +713,29 @@ def run_sweep(
         or retry_active
         or on_error != "raise"
     )
+    execute_fn = _execute_task
+    execute_indexed_fn = _execute_indexed
+    if worker_perf is not None:
+        # functools.partial of a module-level function pickles under both
+        # fork and spawn, so workers get the stripped per-cell perf knobs
+        execute_fn = functools.partial(_execute_task, perf=worker_perf)
+        execute_indexed_fn = functools.partial(
+            _execute_indexed, perf=worker_perf
+        )
+    exec_span = pprof.span("execute", n_miss=len(misses), jobs=jobs)
+    exec_span.__enter__()
     try:
         if misses and not use_watchdog:
             indexed = [(i, tasks[i]) for i in misses]
             workers = min(jobs, len(indexed))
             if workers <= 1:
-                completions: Iterable = map(_execute_indexed, indexed)
+                completions: Iterable = map(execute_indexed_fn, indexed)
                 pool = None
             else:
                 ctx = _mp_context()
                 pool = ctx.Pool(processes=workers)
                 completions = pool.imap_unordered(
-                    _execute_indexed, indexed, chunksize=1
+                    execute_indexed_fn, indexed, chunksize=1
                 )
             try:
                 for i, res, wall, worker in completions:
@@ -632,7 +757,7 @@ def run_sweep(
             items = [(i, tasks[i], fingerprints[i]) for i in misses]
             gen = run_watchdog(
                 items,
-                _execute_task,
+                execute_fn,
                 jobs=min(jobs, len(items)),
                 timeout=timeout,
                 retry=retry if retry_active else None,
@@ -655,8 +780,14 @@ def run_sweep(
                 # this is the KeyboardInterrupt path too
                 gen.close()
     finally:
+        exec_span.__exit__(None, None, None)
         if owns_journal:
             journal.close()
+        if trace is not None:
+            # flush even on abort/KeyboardInterrupt: a partial trace of a
+            # crashed sweep is exactly when you want the timeline
+            trace.add_parent(pprof.to_payload())
+            trace.flush(perf)
     t_executed = time.perf_counter()
 
     stats = stats_out if stats_out is not None else SweepStats()

@@ -134,6 +134,10 @@ class TaskFailure:
     ``"corrupt"`` (worker returned a result for the wrong fingerprint)
     or ``"error"`` (worker raised; ``message`` carries ``Type: text``).
     ``transient`` says whether a retry could help; ``attempt`` is 1-based.
+    ``perf`` carries the attempt's partial perf sidecar (span tree up to
+    the raise) when the sweep ran under ``run_sweep(perf=)`` and the
+    worker lived long enough to serialize one — timing data from failed
+    attempts lands in the sweep trace instead of dying with the worker.
     """
 
     label: str
@@ -145,9 +149,14 @@ class TaskFailure:
     wall_seconds: float = 0.0
     worker: str = ""
     exitcode: int | None = None
+    perf: dict | None = None
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        # the perf sidecar is bulky span data, not failure telemetry —
+        # it travels via the sweep trace, so keep failure rows compact
+        row = asdict(self)
+        row.pop("perf")
+        return row
 
     def describe(self) -> str:
         base = f"{self.label}: {self.kind} on attempt {self.attempt}"
@@ -248,6 +257,9 @@ def _attempt_main(conn, execute, task, fingerprint, attempt, chaos) -> None:
                     f"{type(exc).__name__}: {exc}",
                     is_transient(exc),
                     name,
+                    # partial perf sidecar attached by _execute_task under
+                    # run_sweep(perf=): the span tree up to the raise
+                    getattr(exc, "perf_payload", None),
                 )
             )
         except Exception:
@@ -337,7 +349,7 @@ def run_watchdog(
         )
 
     def failure(slot: _Slot, kind: str, message: str, transient: bool,
-                worker: str = "") -> TaskFailure:
+                worker: str = "", perf: dict | None = None) -> TaskFailure:
         return TaskFailure(
             label=slot.task.label,
             fingerprint=slot.fingerprint,
@@ -348,6 +360,7 @@ def run_watchdog(
             wall_seconds=time.monotonic() - slot.started,
             worker=worker or slot.proc.name,
             exitcode=slot.proc.exitcode,
+            perf=perf,
         )
 
     try:
@@ -387,13 +400,15 @@ def run_watchdog(
                                 slot, "corrupt",
                                 "result fingerprint does not match the task",
                                 True, worker,
+                                perf=getattr(result, "perf", None),
                             )
                         else:
                             done = (result, wall, worker)
                     else:
-                        _, message, transient, worker = msg
+                        _, message, transient, worker = msg[:4]
                         outcome = failure(
-                            slot, "error", message, transient, worker
+                            slot, "error", message, transient, worker,
+                            perf=msg[4] if len(msg) > 4 else None,
                         )
                     slot.proc.join(timeout=2.0)
                     slot.conn.close()

@@ -69,6 +69,7 @@ def simulate_conservative(
 
     emit = tracer.emit if tracer is not None and tracer.enabled else None
     prof = NULL_PROFILER if profiler is None else profiler
+    fine = prof if prof.fine else NULL_PROFILER  # see engine.py
     if metrics is not None:
         g_free = metrics.gauge("sim_free_cores", "unallocated cores")
         g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
@@ -109,18 +110,18 @@ def simulate_conservative(
             q_times.append(now)
         if not pending:
             return
-        with prof.span("policy_sort"):
+        with fine.span("policy_sort"):
             arr = np.asarray(pending)
             order = policy.order(submit[arr], cores[arr], walltime[arr], now)
             ranked = [int(j) for j in arr[order]]
-        with prof.span("profile_rebuild"):
+        with fine.span("profile_rebuild"):
             ends = np.array([running_end_by_wall[j] for j in running_end_by_wall])
             held = np.array(
                 [cores[j] for j in running_end_by_wall], dtype=np.int64
             )
             profile = CapacityProfile.from_running(capacity, now, ends, held)
         started: list[int] = []
-        with prof.span("backfill_scan"):
+        with fine.span("backfill_scan"):
             for j in ranked:
                 t0 = profile.earliest_fit(int(cores[j]), float(walltime[j]), now)
                 profile.reserve(t0, float(walltime[j]), int(cores[j]))
@@ -158,13 +159,23 @@ def simulate_conservative(
             pending.remove(j)
 
     now = float(submit[0])
+    # root span encloses the whole event loop; left open on an exception so
+    # Profiler.to_payload() serializes it as a partial tree
+    root_span = prof.span(
+        "simulate",
+        engine="conservative",
+        policy=getattr(policy, "name", type(policy).__name__),
+        n_jobs=int(n),
+        capacity=int(capacity),
+    )
+    root_span.__enter__()
     while next_submit < n or finish_heap:
         t_sub = submit[next_submit] if next_submit < n else INF
         t_fin = finish_heap[0][0] if finish_heap else INF
         now = min(t_sub, t_fin)
         if metrics is not None:
             metrics.sample(now)
-        with prof.span("event_drain"):
+        with fine.span("event_drain"):
             while finish_heap and finish_heap[0][0] <= now:
                 _, j = heapq.heappop(finish_heap)
                 del running_end_by_wall[j]
@@ -199,6 +210,7 @@ def simulate_conservative(
             g_free.set(free)
             g_queue.set(len(pending))
             g_util.set((capacity - free) / capacity)
+    root_span.__exit__(None, None, None)
 
     assert not pending and np.all(start >= 0), "scheduler left jobs unserved"
     result = SimResult(

@@ -170,6 +170,10 @@ def simulate(
     # observability sinks (all optional; hoisted to locals for the hot loop)
     emit = tracer.emit if tracer is not None and tracer.enabled else None
     prof = NULL_PROFILER if profiler is None else profiler
+    # per-round spans only under a fine-grained profiler: a recorded span
+    # costs microseconds while a scheduling round is itself only tens of
+    # microseconds, so coarse mode keeps tracing cheap enough for sweeps
+    fine = prof if prof.fine else NULL_PROFILER
     if metrics is not None:
         g_free = metrics.gauge("sim_free_cores", "unallocated cores")
         g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
@@ -255,7 +259,7 @@ def simulate(
         if track_usage:
             decay_usage(now)
         while pending:
-            with prof.span("policy_sort"):
+            with fine.span("policy_sort"):
                 arr = np.asarray(pending)
                 if track_usage:
                     context = {
@@ -290,7 +294,7 @@ def simulate(
                     free=int(cluster.free),
                 )
             if backfill.enabled:
-                with prof.span("backfill_scan"):
+                with fine.span("backfill_scan"):
                     frac = backfill.relax_fraction(len(pending), observed_max_q)
                     limit = shadow + frac * max(shadow - submit[head], 0.0)
                     started: list[int] = []
@@ -327,13 +331,23 @@ def simulate(
             break
 
     now = float(submit[0])
+    # root span encloses the whole event loop; left open on an exception so
+    # Profiler.to_payload() serializes it as a partial tree
+    root_span = prof.span(
+        "simulate",
+        engine="easy",
+        policy=getattr(policy, "name", type(policy).__name__),
+        n_jobs=int(n),
+        capacity=int(capacity),
+    )
+    root_span.__enter__()
     while next_submit < n or finish_heap:
         t_sub = submit[next_submit] if next_submit < n else INF
         t_fin = finish_heap[0][0] if finish_heap else INF
         now = min(t_sub, t_fin)
         if metrics is not None:
             metrics.sample(now)
-        with prof.span("event_drain"):
+        with fine.span("event_drain"):
             while finish_heap and finish_heap[0][0] <= now:
                 _, j = heapq.heappop(finish_heap)
                 cluster.finish(j)
@@ -367,6 +381,7 @@ def simulate(
             g_free.set(cluster.free)
             g_queue.set(len(pending))
             g_util.set((capacity - cluster.free) / capacity)
+    root_span.__exit__(None, None, None)
 
     assert not pending and np.all(start >= 0), "scheduler left jobs unserved"
     result = SimResult(

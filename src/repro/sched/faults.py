@@ -531,6 +531,7 @@ def simulate_with_faults(
     # observability sinks (all optional; hoisted to locals for the hot loop)
     emit = tracer.emit if tracer is not None and tracer.enabled else None
     prof = NULL_PROFILER if profiler is None else profiler
+    fine = prof if prof.fine else NULL_PROFILER  # see engine.py
     if metrics is not None:
         g_free = metrics.gauge("sim_free_cores", "unallocated cores")
         g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
@@ -642,7 +643,7 @@ def simulate_with_faults(
         if track_usage:
             decay_usage(now)
         while pending:
-            with prof.span("policy_sort"):
+            with fine.span("policy_sort"):
                 arr = np.asarray(pending)
                 if track_usage:
                     context = {
@@ -681,7 +682,7 @@ def simulate_with_faults(
                     free=int(cluster.free),
                 )
             if backfill.enabled:
-                with prof.span("backfill_scan"):
+                with fine.span("backfill_scan"):
                     frac = backfill.relax_fraction(len(pending), observed_max_q)
                     limit = shadow + frac * max(shadow - submit[head], 0.0)
                     started: list[int] = []
@@ -718,6 +719,16 @@ def simulate_with_faults(
             break
 
     now = float(submit[0])
+    # root span encloses the whole event loop; left open on an exception so
+    # Profiler.to_payload() serializes it as a partial tree
+    root_span = prof.span(
+        "simulate",
+        engine="faults",
+        policy=getattr(policy, "name", type(policy).__name__),
+        n_jobs=int(n),
+        capacity=int(capacity),
+    )
+    root_span.__enter__()
     while state.unfinished > 0:
         t_sub = submit[next_submit] if next_submit < n else _INF
         t_ev = events[0][0] if events else _INF
@@ -725,7 +736,7 @@ def simulate_with_faults(
         assert now < _INF, "fault engine stalled with unfinished jobs"
         if metrics is not None:
             metrics.sample(now)
-        with prof.span("event_drain"):
+        with fine.span("event_drain"):
             while events and events[0][0] <= now:
                 t, prio, _s, payload = heapq.heappop(events)
                 if prio == _P_FINISH:
@@ -858,6 +869,7 @@ def simulate_with_faults(
             g_free.set(cluster.free)
             g_queue.set(len(pending))
             g_util.set((capacity - cluster.free) / capacity)
+    root_span.__exit__(None, None, None)
 
     assert not pending and np.all(state.status >= 0), "jobs left non-terminal"
     if emit is not None:

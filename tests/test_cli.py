@@ -426,6 +426,129 @@ class TestCliRunTelemetry:
         assert "neither" in capsys.readouterr().err
 
 
+def bench_history(tmp_path, tail):
+    """A bench history with 5 stable runs then one run per `tail` value."""
+    log = tmp_path / "bench.jsonl"
+    rows = [{"bench": "b[x]", "wall_seconds": 1.0, "status": "ok"}] * 5
+    rows += [
+        {"bench": "b[x]", "wall_seconds": v, "status": "ok"} for v in tail
+    ]
+    log.write_text("".join(json.dumps(r) + "\n" for r in rows))
+    return log
+
+
+class TestCliPerfGate:
+    def test_slowed_entry_fails_gate(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [3.0])
+        assert main(
+            ["report", str(log), "--perf", "--fail-on-regression"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "perf gate" in out and "REGRESSED" in out
+
+    def test_clean_history_passes_gate(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [1.02])
+        assert main(
+            ["report", str(log), "--perf", "--fail-on-regression"]
+        ) == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_gate_uses_median_not_predecessor(self, tmp_path, capsys):
+        # one slow historical run would trip the run-over-run trajectory
+        # but must not drag the median baseline
+        log = bench_history(tmp_path, [4.0, 1.0])
+        assert main(
+            ["report", str(log), "--perf", "--fail-on-regression"]
+        ) == 0
+
+    def test_bad_gate_flags_exit_two(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [1.0])
+        assert main(["report", str(log), "--perf", "--median-of", "0"]) == 2
+        assert "--median-of" in capsys.readouterr().err
+        assert main(
+            ["report", str(log), "--perf", "--regression-factor", "1.0"]
+        ) == 2
+        assert "--regression-factor" in capsys.readouterr().err
+
+    def test_json_format_emits_one_document(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [3.0])
+        assert main(["report", str(log), "--perf", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "bench history"
+        assert doc["regressed_keys"] == ["b[x]"]
+        (entry,) = doc["perf_gate"]
+        assert entry["regressed"] and entry["baseline"] == 1.0
+        assert len(doc["trajectory"]) == doc["n_records"]
+
+    def test_json_shorthand_flag(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [1.0])
+        assert main(["report", str(log), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["kind"] == "bench history"
+
+    def test_registry_json_includes_report(self, swf_path, tmp_path, capsys):
+        log = tmp_path / "runs.jsonl"
+        assert main(
+            [
+                "simulate", str(swf_path),
+                "--max-jobs", "150",
+                "--policy", "fcfs,sjf",
+                "--run-log", str(log),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(log), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "run registry"
+        assert doc["report"]["n_tasks"] == 2
+
+    def test_conflicting_format_flags_exit_two(self, tmp_path, capsys):
+        log = bench_history(tmp_path, [1.0])
+        with pytest.raises(SystemExit) as exc_info:
+            main(["report", str(log), "--format", "text", "--json"])
+        assert exc_info.value.code == 2
+        assert "conflicting output formats" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as exc_info:
+            main(["report", str(log), "--format", "json", "--format", "text"])
+        assert exc_info.value.code == 2
+        # repeating the SAME format is not a conflict
+        assert main(["report", str(log), "--json", "--format", "json"]) == 0
+
+
+class TestCliProfile:
+    def test_prints_breakdown_and_writes_outputs(self, swf_path, tmp_path, capsys):
+        trace_out = tmp_path / "prof" / "trace.json"
+        stacks_out = tmp_path / "prof" / "stacks.txt"
+        assert main(
+            [
+                "profile", str(swf_path),
+                "--policy", "sjf",
+                "--max-jobs", "200",
+                "--sample-hz", "200",
+                "--trace-out", str(trace_out),
+                "--stacks-out", str(stacks_out),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hot-path wall-time breakdown" in out
+        assert "simulate" in out and "sampler:" in out
+        doc = json.loads(trace_out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "simulate" in names
+        assert "simulate" in stacks_out.read_text()
+
+    def test_rejects_bad_flags(self, swf_path, tmp_path, capsys):
+        assert main(["profile", str(swf_path), "--sample-hz", "-1"]) == 2
+        assert "--sample-hz" in capsys.readouterr().err
+        assert main(["profile", str(swf_path), "--policy", "nope"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+        clash = tmp_path / "file"
+        clash.write_text("")
+        assert main(
+            ["profile", str(swf_path), "--trace-out", str(clash / "t.json")]
+        ) == 2
+        assert "invalid output" in capsys.readouterr().err
+
+
 class TestCliFuzz:
     def test_clean_campaign_exits_zero(self, capsys):
         assert main(["fuzz", "--budget", "25", "--seed", "0"]) == 0

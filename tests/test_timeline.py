@@ -1,0 +1,144 @@
+"""Tests for :mod:`repro.obs.timeline` — replay, utilization, rendering.
+
+The load-bearing property ties two independent reconstructions of cluster
+usage together: the peak of :func:`utilization_series` (rebuilt purely
+from the emitted event stream's ``free`` fields) must equal
+:func:`repro.testkit.max_concurrent_usage` (an event sweep over the
+*result arrays*, the invariant battery's ground truth).  Any drift between
+what the engine does and what it reports surfaces here.
+
+``render_timeline`` output is frozen as a golden under ``tests/goldens/``;
+regenerate intentionally with ``REPRO_UPDATE_GOLDENS=1`` (docs/TESTING.md).
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import RingBufferTracer
+from repro.obs.timeline import (
+    check_events,
+    render_timeline,
+    summarize_events,
+    utilization_series,
+)
+from repro.sched import EASY, NO_BACKFILL, SimWorkload, simulate
+from repro.testkit import max_concurrent_usage
+
+CAPACITY = 16
+GOLDEN = Path(__file__).parent / "goldens" / "timeline.txt"
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(2, 30))
+    submit = np.cumsum(
+        np.array(draw(st.lists(st.floats(0.0, 50.0), min_size=n, max_size=n)))
+    )
+    cores = np.array(
+        draw(st.lists(st.integers(1, CAPACITY), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    runtime = np.array(
+        draw(st.lists(st.floats(1.0, 500.0), min_size=n, max_size=n))
+    )
+    return SimWorkload(
+        submit=submit,
+        cores=cores,
+        runtime=runtime,
+        walltime=runtime * 1.5,
+        user=np.zeros(n, dtype=np.int64),
+    )
+
+
+def traced_run(workload, backfill=EASY):
+    tracer = RingBufferTracer()
+    result = simulate(workload, CAPACITY, "fcfs", backfill, tracer=tracer)
+    return result, tracer.events
+
+
+class TestUtilizationSeries:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_peak_matches_invariant_battery(self, workload):
+        """Event-replayed peak usage == the result-array event sweep."""
+        for bf in (NO_BACKFILL, EASY):
+            result, events = traced_run(workload, bf)
+            assert check_events(events) == []
+            _, used = utilization_series(events)
+            assert int(used.max()) == max_concurrent_usage(
+                result.start, workload.runtime, workload.cores
+            )
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_series_bounded_and_drains_to_zero(self, workload):
+        _, events = traced_run(workload)
+        times, used = utilization_series(events)
+        assert np.all(used >= 0) and np.all(used <= CAPACITY)
+        assert np.all(np.diff(times) >= 0)
+        # the final capacity event is the last job's release
+        assert used[-1] == 0
+
+    def test_capacity_override_and_missing_capacity(self):
+        _, events = traced_run(wl_fixed())
+        stripped = [e for e in events if e.get("kind") != "run_start"]
+        with pytest.raises(ValueError):
+            utilization_series(stripped)
+        _, used = utilization_series(stripped, capacity=CAPACITY)
+        assert used.max() <= CAPACITY
+
+
+def wl_fixed(n=40, seed=11):
+    rng = np.random.default_rng(seed)
+    submit = np.sort(rng.uniform(0, 3600.0, n))
+    runtime = rng.uniform(120.0, 1800.0, n)
+    return SimWorkload(
+        submit=submit,
+        cores=rng.integers(1, 8, n).astype(np.int64),
+        runtime=runtime,
+        walltime=runtime * 1.5,
+        user=np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestRenderTimeline:
+    def test_golden(self):
+        """render_timeline bytes are frozen; drift means a real change."""
+        _, events = traced_run(wl_fixed())
+        got = render_timeline(events, bins=12, width=20) + "\n"
+        if os.environ.get("REPRO_UPDATE_GOLDENS", "") not in ("", "0"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(got)
+            pytest.skip(f"regenerated {GOLDEN}")
+        if not GOLDEN.exists():
+            pytest.fail(
+                f"golden file {GOLDEN} missing; generate with "
+                "REPRO_UPDATE_GOLDENS=1 (see docs/TESTING.md)"
+            )
+        assert got == GOLDEN.read_text(), (
+            f"timeline output drifted from {GOLDEN}; if intended, "
+            "regenerate with REPRO_UPDATE_GOLDENS=1 and commit the diff"
+        )
+
+    def test_empty_stream_renders_placeholder(self):
+        assert "no capacity events" in render_timeline(
+            [{"kind": "run_start", "t": 0.0, "capacity": 4}]
+        )
+
+    def test_bin_event_counts_sum_to_stream_counts(self):
+        _, events = traced_run(wl_fixed())
+        rendered = render_timeline(events, bins=8)
+        counts = summarize_events(events)
+        # per-bin submit/start/finish columns must add up to the stream
+        rows = [
+            line.split()
+            for line in rendered.splitlines()
+            if line.startswith("+")
+        ]
+        for col, kind in ((-4, "submit"), (-3, "start"), (-2, "finish")):
+            assert sum(int(r[col]) for r in rows) == counts[kind]
