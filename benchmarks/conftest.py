@@ -51,16 +51,19 @@ def pytest_runtest_logreport(report):
     from repro.obs import RunRegistry
     from repro.runner import code_version
 
+    record = {
+        "bench": report.nodeid,
+        "wall_seconds": float(report.duration),
+        "days": BENCH_DAYS,
+        "seed": BENCH_SEED,
+        "code": code_version(),
+        "ts": time.time(),
+    }
+    # record_property() values (e.g. the fast-engine speedup ratio) ride
+    # along so the history keeps measured facts, not just durations
+    for key, value in getattr(report, "user_properties", ()) or ():
+        record.setdefault(str(key), value)
     # RunRegistry gives atomic single-line appends, so parallel bench
     # invocations sharing one history file cannot interleave records
     with RunRegistry(path) as registry:
-        registry.append(
-            {
-                "bench": report.nodeid,
-                "wall_seconds": float(report.duration),
-                "days": BENCH_DAYS,
-                "seed": BENCH_SEED,
-                "code": code_version(),
-                "ts": time.time(),
-            }
-        )
+        registry.append(record)

@@ -1,0 +1,139 @@
+"""Headline benchmark: the vectorized engine vs the readable reference.
+
+The tentpole claim of docs/PERFORMANCE.md — ``repro.sched.fast`` replays
+large traces >= 10x faster than the reference engine while producing
+bit-identical schedules — is asserted here, not just documented:
+
+* ``test_bench_fast_100k`` times the fast engine alone on the standard
+  100k-job diurnal workload (the perf-gate trajectory entry);
+* ``test_fast_speedup_100k`` runs *both* engines on that workload and
+  asserts the >= 10x ratio plus identical ``SimResult.to_dict()``
+  (measured ~20x on a dev box, so the gate has 2x headroom for noise);
+* ``test_fast_speedup_million`` is the million-job smoke from the issue,
+  opt-in via ``REPRO_RUN_SLOW=1`` (the reference engine needs ~10 min of
+  wall clock for it); it records its measured speedup into the
+  ``BENCH_OUT`` history alongside the regular bench records.
+
+The workload generator thins a diurnal Poisson process, so the queue
+stays deep (mean ~1000 on the 100k config) but *bounded* — wall clock
+scales linearly in jobs rather than O(jobs x queue), which is what makes
+the million-job configuration feasible at all.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.sched import EASY, SimWorkload, simulate, simulate_fast
+
+#: the 100k perf-gate configuration (reference ~60-70s, fast ~3-4s)
+BENCH_JOBS = 100_000
+BENCH_CAPACITY = 1024
+SPEEDUP_FLOOR = 10.0
+
+
+def diurnal_workload(
+    n: int,
+    capacity: int,
+    seed: int = 0,
+    load: float = 1.02,
+    swing: float = 0.6,
+) -> SimWorkload:
+    """``n`` jobs from a thinned diurnal Poisson process at ``load``.
+
+    Arrivals follow a sinusoidal day/night rate (peak-to-mean ratio
+    ``1 + swing``), so the simulated cluster oscillates between saturated
+    and draining: the queue goes deep every peak but never grows without
+    bound.  Job sizes cap at ``capacity // 8`` so backfilling has real
+    holes to fill.
+    """
+    rng = np.random.default_rng(seed)
+    cores = rng.integers(1, capacity // 8 + 1, n)
+    runtime = rng.exponential(600.0, n)
+    walltime = runtime * rng.uniform(1.1, 3.0, n)
+    mean_work = float((cores * runtime).mean())
+    lam = capacity * load / mean_work
+    lam_max = lam * (1 + swing)
+    # oversample the max-rate process, then thin to the diurnal profile
+    m = int(n * (1 + swing) * 1.25) + 64
+    t = np.cumsum(rng.exponential(1.0 / lam_max, m))
+    accept = rng.random(m) < (1 + swing * np.sin(2 * np.pi * t / 86400.0)) / (
+        1 + swing
+    )
+    submit = t[accept][:n]
+    assert len(submit) == n, "oversampling margin too small"
+    return SimWorkload(
+        submit=submit,
+        cores=cores.astype(np.int64),
+        runtime=runtime,
+        walltime=walltime,
+        user=rng.integers(0, 100, n).astype(np.int64),
+    )
+
+
+def test_bench_fast_100k(benchmark):
+    """Perf-gate entry: the fast engine alone on the 100k workload."""
+    wl = diurnal_workload(BENCH_JOBS, BENCH_CAPACITY)
+    result = benchmark.pedantic(
+        simulate_fast,
+        args=(wl, BENCH_CAPACITY, "fcfs", EASY),
+        rounds=3,
+        iterations=1,
+    )
+    assert int((result.start >= 0).sum()) == BENCH_JOBS
+
+
+def test_fast_speedup_100k(record_property):
+    """>= 10x over the reference at 100k jobs, bit-identical summary."""
+    wl = diurnal_workload(BENCH_JOBS, BENCH_CAPACITY)
+
+    t0 = time.perf_counter()
+    ref = simulate(wl, BENCH_CAPACITY, "fcfs", EASY)
+    ref_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = simulate_fast(wl, BENCH_CAPACITY, "fcfs", EASY)
+    fast_s = time.perf_counter() - t0
+
+    assert np.array_equal(ref.start, fast.start)
+    assert ref.to_dict() == fast.to_dict()
+    speedup = ref_s / fast_s
+    record_property("reference_seconds", round(ref_s, 3))
+    record_property("fast_seconds", round(fast_s, 3))
+    record_property("speedup", round(speedup, 2))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast engine only {speedup:.1f}x over reference "
+        f"(ref {ref_s:.2f}s, fast {fast_s:.2f}s); floor {SPEEDUP_FLOOR}x"
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_SLOW"),
+    reason="million-job differential takes ~10 min; set REPRO_RUN_SLOW=1",
+)
+def test_fast_speedup_million(record_property):
+    """The issue's headline: 1M jobs, >= 10x, identical to_dict()."""
+    wl = diurnal_workload(1_000_000, BENCH_CAPACITY)
+
+    t0 = time.perf_counter()
+    fast = simulate_fast(wl, BENCH_CAPACITY, "fcfs", EASY)
+    fast_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ref = simulate(wl, BENCH_CAPACITY, "fcfs", EASY)
+    ref_s = time.perf_counter() - t0
+
+    assert np.array_equal(ref.start, fast.start)
+    assert np.array_equal(ref.promised, fast.promised, equal_nan=True)
+    assert np.array_equal(ref.backfilled, fast.backfilled)
+    assert ref.to_dict() == fast.to_dict()
+    speedup = ref_s / fast_s
+    record_property("reference_seconds", round(ref_s, 3))
+    record_property("fast_seconds", round(fast_s, 3))
+    record_property("speedup", round(speedup, 2))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"million-job speedup {speedup:.1f}x below the {SPEEDUP_FLOOR}x floor "
+        f"(ref {ref_s:.1f}s, fast {fast_s:.1f}s)"
+    )

@@ -150,6 +150,10 @@ class SimTask:
     capacity: int | None = None
     kill_at_walltime: bool = False
     track_queue: bool = False
+    #: "easy" (reference) or "fast" (vectorized, bit-identical; see
+    #: docs/PERFORMANCE.md).  Part of the cache fingerprint so a cell's
+    #: cached result always names the engine that produced it.
+    engine: str = "easy"
 
     def resolved_capacity(self) -> int:
         if self.capacity is not None:
@@ -178,6 +182,7 @@ class SimTask:
             "faults": None if self.faults is None else asdict(self.faults),
             "kill_at_walltime": self.kill_at_walltime,
             "track_queue": self.track_queue,
+            "engine": self.engine,
             "code": code_version(),
         }
 
@@ -253,6 +258,11 @@ def _run_cell(task: SimTask, profiler=None, metrics=None) -> TaskResult:
         capacity = task.resolved_capacity()
 
     if task.faults is not None:
+        if task.engine != "easy":
+            raise ValueError(
+                f"task {task.label!r}: fault injection requires the "
+                "reference engine (engine='easy')"
+            )
         result = simulate_with_faults(
             workload,
             capacity,
@@ -275,6 +285,7 @@ def _run_cell(task: SimTask, profiler=None, metrics=None) -> TaskResult:
             kill_at_walltime=task.kill_at_walltime,
             metrics=metrics,
             profiler=profiler,
+            engine=task.engine,
         )
         resilience = None
     metrics_dict = compute_metrics(result).as_dict()

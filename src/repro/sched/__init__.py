@@ -14,6 +14,7 @@ from .cluster import Cluster
 from .conservative import simulate_conservative
 from .engine import SimResult, simulate
 from .export import result_to_trace
+from .fast import simulate_fast
 from .faults import (
     NO_FAULTS,
     FaultConfig,
@@ -44,6 +45,7 @@ from .virtual import (
 
 __all__ = [
     "simulate",
+    "simulate_fast",
     "simulate_conservative",
     "simulate_with_faults",
     "simulate_packed_with_faults",

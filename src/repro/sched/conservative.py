@@ -218,8 +218,8 @@ def simulate_conservative(
         capacity=capacity,
         start=start,
         promised=promised,
-        queue_samples=np.asarray(q_samples),
-        queue_sample_times=np.asarray(q_times),
+        queue_samples=np.asarray(q_samples, dtype=np.int64),
+        queue_sample_times=np.asarray(q_times, dtype=np.float64),
     )
     if emit is not None:
         emit(ev.RUN_END, now, makespan=float(result.makespan), started=int(n))

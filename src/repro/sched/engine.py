@@ -32,7 +32,16 @@ from .cluster import Cluster
 from .job import SimWorkload
 from .policies import Policy, get_policy
 
-__all__ = ["SimResult", "simulate"]
+__all__ = ["SimResult", "simulate", "USAGE_EPS"]
+
+#: Fair-share usage entries that decay below this are dropped entirely.
+#: Usage is credited in core-seconds (>= 1 for any real job), so reaching
+#: the epsilon takes ~40 half-lives of inactivity — far beyond any trace
+#: horizon we replay — which makes the prune invisible to scheduling
+#: decisions while bounding the ``usage`` dict and avoiding denormal-float
+#: multiplies on long multi-user traces.  A pruned entry reads back as 0.0,
+#: exactly what ``usage.get(u, 0.0)`` returned before the entry existed.
+USAGE_EPS = 1e-12
 
 
 @dataclass
@@ -46,9 +55,14 @@ class SimResult:
     promised: np.ndarray
     #: True for jobs that started by jumping a blocked queue head
     backfilled: np.ndarray = field(default_factory=lambda: np.array([], dtype=bool))
-    #: queue length sampled at every scheduling decision
-    queue_samples: np.ndarray = field(default_factory=lambda: np.array([]))
-    queue_sample_times: np.ndarray = field(default_factory=lambda: np.array([]))
+    #: queue length sampled at every scheduling decision (always int64: the
+    #: bare default/``np.asarray`` dtypes used to disagree across platforms)
+    queue_samples: np.ndarray = field(
+        default_factory=lambda: np.array([], dtype=np.int64)
+    )
+    queue_sample_times: np.ndarray = field(
+        default_factory=lambda: np.array([], dtype=np.float64)
+    )
 
     @property
     def wait(self) -> np.ndarray:
@@ -103,6 +117,7 @@ def simulate(
     tracer=None,
     metrics=None,
     profiler=None,
+    engine: str = "easy",
 ):
     """Run the scheduler over a workload and return per-job start times.
 
@@ -135,7 +150,34 @@ def simulate(
         Optional :class:`~repro.obs.Metrics` registry.
     profiler:
         Optional :class:`~repro.obs.Profiler` timing the hot paths.
+    engine:
+        ``"easy"`` (default) runs this readable reference implementation;
+        ``"fast"`` dispatches to the bit-identical vectorized
+        structure-of-arrays engine (:mod:`repro.sched.fast`,
+        docs/PERFORMANCE.md).  The fast engine supports ``profiler`` but
+        not ``faults``/``tracer``/``metrics``.
     """
+    if engine not in ("easy", "fast"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'easy' or 'fast'")
+    if engine == "fast":
+        if faults is not None:
+            raise ValueError(
+                "fault injection needs the reference engine; "
+                "drop engine='fast' or faults"
+            )
+        from .fast import simulate_fast
+
+        return simulate_fast(
+            workload,
+            capacity,
+            policy,
+            backfill,
+            track_queue=track_queue,
+            kill_at_walltime=kill_at_walltime,
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
+        )
     if faults is not None:
         from .faults import simulate_with_faults
 
@@ -200,7 +242,12 @@ def simulate(
     promised = np.full(n, np.nan)
     backfilled = np.zeros(n, dtype=bool)
 
-    pending: list[int] = []
+    # The wait queue is an insertion-ordered dict keyed by job index: dicts
+    # preserve insertion order across deletions, so iterating yields exactly
+    # the ascending-index sequence the old list held, while removing a
+    # served job is O(1) instead of the O(queue) ``list.remove`` scan that
+    # made deep-queue scheduling rounds quadratic.
+    pending: dict[int, None] = {}
     finish_heap: list[tuple[float, int]] = []
     next_submit = 0
     observed_max_q = 0
@@ -245,8 +292,19 @@ def simulate(
         nonlocal usage_time
         if now > usage_time and usage:
             factor = 0.5 ** ((now - usage_time) / half_life)
+            stale: list[int] = []
             for u in usage:
                 usage[u] *= factor
+                if usage[u] < USAGE_EPS:
+                    stale.append(u)
+            # prune fully-decayed users: keeps the dict bounded by *active*
+            # users on long traces and stops denormal-range multiplies.
+            # Nonzero usage starts at >= 1 core-second, so falling under
+            # USAGE_EPS takes ~40 half-lives of silence — outside any trace
+            # horizon — and exact zeros (zero-walltime jobs) read back as
+            # 0.0 either way, so ordering is unchanged (see USAGE_EPS)
+            for u in stale:
+                del usage[u]
         usage_time = max(usage_time, now)
 
     def schedule(now: float) -> None:
@@ -260,7 +318,7 @@ def simulate(
             decay_usage(now)
         while pending:
             with fine.span("policy_sort"):
-                arr = np.asarray(pending)
+                arr = np.fromiter(pending, dtype=np.int64, count=len(pending))
                 if track_usage:
                     context = {
                         "user": users[arr],
@@ -277,7 +335,7 @@ def simulate(
             head = int(ranked[0])
             if cluster.can_start(int(cores[head])):
                 start_job(head, now)
-                pending.remove(head)
+                del pending[head]
                 continue
             # head blocked: reserve, then backfill around the reservation
             shadow, extra = cluster.reservation(int(cores[head]), now)
@@ -327,7 +385,7 @@ def simulate(
                             if cluster.free == 0:
                                 break
                     for j in started:
-                        pending.remove(j)
+                        del pending[j]
             break
 
     now = float(submit[0])
@@ -363,7 +421,7 @@ def simulate(
                 if metrics is not None:
                     c_finished.inc()
             while next_submit < n and submit[next_submit] <= now:
-                pending.append(next_submit)
+                pending[next_submit] = None
                 if emit is not None:
                     emit(
                         ev.SUBMIT,
@@ -390,8 +448,8 @@ def simulate(
         start=start,
         promised=promised,
         backfilled=backfilled,
-        queue_samples=np.asarray(q_samples),
-        queue_sample_times=np.asarray(q_times),
+        queue_samples=np.asarray(q_samples, dtype=np.int64),
+        queue_sample_times=np.asarray(q_times, dtype=np.float64),
     )
     if emit is not None:
         emit(

@@ -402,8 +402,12 @@ class FaultSimResult:
     node_fail_times: np.ndarray = field(default_factory=lambda: np.array([]))
     node_fail_nodes: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
     node_repair_times: np.ndarray = field(default_factory=lambda: np.array([]))
-    queue_samples: np.ndarray = field(default_factory=lambda: np.array([]))
-    queue_sample_times: np.ndarray = field(default_factory=lambda: np.array([]))
+    queue_samples: np.ndarray = field(
+        default_factory=lambda: np.array([], dtype=np.int64)
+    )
+    queue_sample_times: np.ndarray = field(
+        default_factory=lambda: np.array([], dtype=np.float64)
+    )
 
     @property
     def wait(self) -> np.ndarray:
@@ -897,8 +901,8 @@ def simulate_with_faults(
         node_fail_times=np.asarray(fail_t, dtype=float),
         node_fail_nodes=np.asarray(fail_n, dtype=np.int64),
         node_repair_times=np.asarray(repair_t, dtype=float),
-        queue_samples=np.asarray(q_samples),
-        queue_sample_times=np.asarray(q_times),
+        queue_samples=np.asarray(q_samples, dtype=np.int64),
+        queue_sample_times=np.asarray(q_times, dtype=np.float64),
     )
 
 

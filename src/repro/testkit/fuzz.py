@@ -72,11 +72,41 @@ class FuzzPolicy:
     engine: str  #: "easy" or "conservative"
     backfill: BackfillConfig = EASY
 
-    def run_engine(self, workload: SimWorkload, capacity: int) -> SimResult:
-        """The production engine's schedule for this configuration."""
+    def supports_impl(self, impl: str) -> bool:
+        """Whether ``impl`` can run this configuration.
+
+        The vectorized engine reimplements the EASY family only;
+        conservative backfilling keeps a single implementation.
+        """
+        return impl == "reference" or self.engine != "conservative"
+
+    def run_engine(
+        self, workload: SimWorkload, capacity: int, impl: str = "reference"
+    ) -> SimResult:
+        """The production engine's schedule for this configuration.
+
+        ``impl`` selects which production implementation faces the oracle:
+        ``"reference"`` is the readable per-job engine, ``"fast"`` the
+        vectorized :mod:`repro.sched.fast` rewrite (EASY family only).
+        """
+        if impl not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine impl {impl!r}; expected 'reference' or 'fast'"
+            )
         if self.engine == "conservative":
+            if impl == "fast":
+                raise ValueError(
+                    "conservative backfilling has no fast implementation; "
+                    "fuzz it with impl='reference'"
+                )
             return simulate_conservative(workload, capacity, self.policy)
-        return simulate(workload, capacity, self.policy, self.backfill)
+        return simulate(
+            workload,
+            capacity,
+            self.policy,
+            self.backfill,
+            engine="fast" if impl == "fast" else "easy",
+        )
 
     def run_oracle(self, workload: SimWorkload, capacity: int) -> SimResult:
         """The reference oracle's schedule for this configuration."""
@@ -167,16 +197,19 @@ def _diff_results(engine: SimResult, oracle: SimResult) -> list[str]:
 
 
 def check_case(
-    workload: SimWorkload, capacity: int, policy: FuzzPolicy
+    workload: SimWorkload,
+    capacity: int,
+    policy: FuzzPolicy,
+    impl: str = "reference",
 ) -> list[str]:
-    """All findings for one (workload, configuration) case.
+    """All findings for one (workload, configuration, impl) case.
 
     Combines the engine-vs-oracle differential with the invariant battery
     on *both* schedules — a bug in the oracle itself surfaces as an
     ``oracle:``-prefixed invariant violation rather than silently blessing
     a matching engine bug.
     """
-    engine_res = policy.run_engine(workload, capacity)
+    engine_res = policy.run_engine(workload, capacity, impl=impl)
     oracle_res = policy.run_oracle(workload, capacity)
     firm = policy.firm_promises(workload)
     findings = _diff_results(engine_res, oracle_res)
@@ -319,6 +352,7 @@ class FuzzReport:
     policies: tuple[str, ...]
     cases: int  #: workloads generated
     runs: int  #: engine-vs-oracle comparisons executed
+    engine_impl: str = "reference"  #: production impl under test
     divergence: Divergence | None = None
 
     @property
@@ -327,8 +361,9 @@ class FuzzReport:
 
     def describe(self) -> str:
         head = (
-            f"fuzz: {self.cases} workload(s) x {len(self.policies)} "
-            f"policy configuration(s) = {self.runs} differential run(s) "
+            f"fuzz[{self.engine_impl}]: {self.cases} workload(s) x "
+            f"{len(self.policies)} policy configuration(s) = {self.runs} "
+            f"differential run(s) "
             f"(seed {self.seed}, capacity {self.capacity})"
         )
         if self.ok:
@@ -343,18 +378,36 @@ def fuzz(
     capacity: int = DEFAULT_CAPACITY,
     max_jobs: int = 12,
     shrink_evals: int = 3000,
+    engine_impl: str = "reference",
 ) -> FuzzReport:
     """Run a differential campaign: ``budget`` workloads per policy.
 
     Stops (and shrinks) at the first failing case; a clean report means
     every generated workload scheduled bit-identically on engine and
     oracle and passed every invariant, for every named configuration.
+
+    ``engine_impl`` picks the production implementation facing the oracle
+    (``"reference"`` or ``"fast"``); the fast engine covers the EASY
+    family only, so its campaigns must not name ``conservative``.
     """
     names = tuple(policies)
     unknown = [p for p in names if p not in FUZZ_POLICIES]
     if unknown:
         raise KeyError(
             f"unknown fuzz policies {unknown}; available: {sorted(FUZZ_POLICIES)}"
+        )
+    if engine_impl not in ("reference", "fast"):
+        raise ValueError(
+            f"unknown engine impl {engine_impl!r}; "
+            "expected 'reference' or 'fast'"
+        )
+    unsupported = [
+        p for p in names if not FUZZ_POLICIES[p].supports_impl(engine_impl)
+    ]
+    if unsupported:
+        raise ValueError(
+            f"policies {unsupported} have no {engine_impl!r} implementation; "
+            "drop them or use engine_impl='reference'"
         )
     if budget < 1:
         raise ValueError("budget must be >= 1")
@@ -366,12 +419,14 @@ def fuzz(
         for name in names:
             policy = FUZZ_POLICIES[name]
             runs += 1
-            findings = check_case(workload, capacity, policy)
+            findings = check_case(workload, capacity, policy, impl=engine_impl)
             if not findings:
                 continue
             shrunk, evals = shrink(
                 workload,
-                lambda w: bool(check_case(w, capacity, policy)),
+                lambda w: bool(
+                    check_case(w, capacity, policy, impl=engine_impl)
+                ),
                 max_evals=shrink_evals,
             )
             return FuzzReport(
@@ -381,6 +436,7 @@ def fuzz(
                 policies=names,
                 cases=cases,
                 runs=runs,
+                engine_impl=engine_impl,
                 divergence=Divergence(
                     policy=name,
                     seed=seed,
@@ -398,6 +454,7 @@ def fuzz(
         policies=names,
         cases=cases,
         runs=runs,
+        engine_impl=engine_impl,
     )
 
 
