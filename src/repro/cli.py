@@ -5,6 +5,7 @@ Subcommands::
     repro generate  <system> -o trace.swf [--days D] [--seed S]
     repro validate  <trace.swf>
     repro analyze   <trace.swf> [--report out.md]
+    repro analyze   <events.jsonl | events.npz> [--json]
     repro simulate  <trace.swf> [--policy P[,P2,...]] [--backfill MODE]
                     [--engine easy|fast] [--relax F]
                     [--jobs N] [--cache-dir DIR] [--no-cache]
@@ -12,7 +13,8 @@ Subcommands::
                     [--task-retries N] [--retry-backoff S] [--fsync]
                     [--journal sweep.jsonl] [--resume]
                     [--mtbf-hours H] [--retries N] [--inject-status]
-                    [--trace-out events.jsonl] [--metrics-out m.json|m.prom]
+                    [--trace-out events.jsonl|events.npz]
+                    [--metrics-out m.json|m.prom]
                     [--profile] [--run-log runs.jsonl] [--progress MODE] ...
     repro report    <runs.jsonl | BENCH_history.jsonl>
                     [--straggler-factor K] [--regression-factor K]
@@ -73,6 +75,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    suffix = args.trace.suffix.lower()
+    if suffix in (".jsonl", ".npz"):
+        # captured event stream (tracer JSONL or columnar .npz recording):
+        # job-characterization analytics instead of SWF characterization
+        if args.report:
+            print(
+                "--report renders SWF characterization reports; event "
+                "streams print tables directly (or --json)",
+                file=sys.stderr,
+            )
+            return 2
+        from .obs import analyze_events, load_events
+
+        analysis = analyze_events(load_events(args.trace))
+        if args.json:
+            print(json.dumps(analysis.to_dict(), indent=1))
+        else:
+            print(analysis.render())
+        return 0
+    if args.json:
+        print(
+            "--json applies to event streams (.jsonl/.npz); SWF traces "
+            "use --report for file output",
+            file=sys.stderr,
+        )
+        return 2
     trace = read_swf(args.trace)
     name = trace.system.name.lower().replace(" ", "_")
     study = CrossSystemStudy.from_traces({name: trace})
@@ -157,7 +185,13 @@ def _obs_sinks(args: argparse.Namespace):
 
     tracer = metrics = profiler = None
     if args.trace_out:
-        tracer = JsonlTracer(_ensure_parent(args.trace_out))
+        path = _ensure_parent(args.trace_out)
+        if path.suffix.lower() == ".npz":
+            from .obs import ColumnarRecorder
+
+            tracer = ColumnarRecorder(path)
+        else:
+            tracer = JsonlTracer(path)
     if args.metrics_out:
         _ensure_parent(args.metrics_out)
         metrics = Metrics(sample_interval=args.metrics_interval)
@@ -471,22 +505,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
-    if args.engine == "fast":
-        if faults is not None:
-            print(
-                "--engine fast has no fault-injection hooks; drop the fault "
-                "flags or use --engine easy (docs/PERFORMANCE.md)",
-                file=sys.stderr,
-            )
-            return 2
-        if args.trace_out or args.metrics_out:
-            print(
-                "--engine fast batches events and has no per-event "
-                "tracer/metrics hooks; --profile still works, or use "
-                "--engine easy for full observability",
-                file=sys.stderr,
-            )
-            return 2
+    if args.engine == "fast" and faults is not None:
+        print(
+            "--engine fast has no fault-injection hooks; drop the fault "
+            "flags or use --engine easy (docs/PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.profile)
     wants_telemetry = bool(args.run_log) or args.progress != "none"
     wants_crash_safety = (
@@ -867,9 +892,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace", type=Path)
     p.set_defaults(fn=_cmd_validate)
 
-    p = sub.add_parser("analyze", help="characterize an SWF trace")
+    p = sub.add_parser(
+        "analyze",
+        help="characterize an SWF trace or a captured event stream "
+        "(.jsonl/.npz)",
+    )
     p.add_argument("trace", type=Path)
-    p.add_argument("--report", type=Path, help="write a markdown report")
+    p.add_argument(
+        "--report", type=Path, help="write a markdown report (SWF traces)"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (event streams only)",
+    )
     p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("simulate", help="schedule an SWF trace")
@@ -889,8 +925,8 @@ def main(argv: list[str] | None = None) -> int:
         default="easy",
         help="engine implementation: easy = readable per-job reference, "
         "fast = vectorized structure-of-arrays rewrite (bit-identical "
-        "schedules, ~10-20x faster at scale; no fault injection or "
-        "per-event tracing — see docs/PERFORMANCE.md)",
+        "schedules and event streams via columnar recording, ~10-20x "
+        "faster at scale; no fault injection — see docs/PERFORMANCE.md)",
     )
     p.add_argument("--relax", type=float, default=0.1)
     p.add_argument("--max-jobs", type=int, default=0)

@@ -5,8 +5,9 @@ optional sinks (``simulate(..., tracer=, metrics=, profiler=)``):
 
 * **tracing** (:mod:`repro.obs.tracer`) — typed decision events (submit,
   start, finish, reservation, backfill, node-fail/repair, retry,
-  checkpoint) with sim-time and decision context; JSONL and ring-buffer
-  backends;
+  checkpoint) with sim-time and decision context; JSONL, ring-buffer and
+  columnar (:mod:`repro.obs.columnar` — the fast engine's recording
+  format, ``.npz``-persistable, exact-decoding) backends;
 * **metrics** (:mod:`repro.obs.metrics`) — counters, gauges and
   log-bucketed histograms plus a sim-time-sampled utilization/queue-depth
   series; JSON and Prometheus text exports;
@@ -17,7 +18,10 @@ All three default to shared no-op objects so the uninstrumented hot path
 stays effectively free (see ``benchmarks/test_bench_obs_overhead.py``),
 and a run with sinks attached is **bit-identical** to one without — the
 instrumentation observes, never decides.  :mod:`repro.obs.timeline`
-replays captured streams into audits and schedule timelines.
+replays captured streams into audits and schedule timelines, and
+:mod:`repro.obs.analyze` folds them into job-characterization analytics
+(wait/service decomposition, start classes, time-weighted queue and
+utilization percentiles, per-user summaries — ``repro analyze``).
 
 The layers *above* the engines get the same treatment:
 :mod:`repro.obs.runs` logs per-task sweep telemetry (``RunRegistry``),
@@ -40,6 +44,8 @@ invariant checks and a differential fuzzer on top — ``docs/TESTING.md``.
 """
 
 from . import events
+from .analyze import TraceAnalysis, analyze_events, load_events
+from .columnar import ColumnarRecorder
 from .events import CAPACITY_EVENTS, EVENT_KINDS, make_event
 from .export_chrome import (
     ChromeTraceExporter,
@@ -81,6 +87,7 @@ from .timeline import (
     check_events,
     read_jsonl,
     render_timeline,
+    run_start_capacity,
     summarize_events,
     utilization_series,
 )
@@ -96,6 +103,10 @@ __all__ = [
     "NULL_TRACER",
     "JsonlTracer",
     "RingBufferTracer",
+    "ColumnarRecorder",
+    "TraceAnalysis",
+    "analyze_events",
+    "load_events",
     "Counter",
     "Gauge",
     "Histogram",
@@ -115,6 +126,7 @@ __all__ = [
     "check_events",
     "read_jsonl",
     "render_timeline",
+    "run_start_capacity",
     "summarize_events",
     "utilization_series",
     "RunRecord",

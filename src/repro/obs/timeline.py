@@ -149,15 +149,24 @@ def check_events(
     return violations
 
 
+def run_start_capacity(
+    events: Sequence[dict], capacity: int | None = None
+) -> int | None:
+    """Resolve cluster capacity: the override wins, else the ``run_start``
+    header; ``None`` when neither is available."""
+    if capacity is not None:
+        return int(capacity)
+    for event in events:
+        if event.get("kind") == ev.RUN_START:
+            return int(event["capacity"])
+    return None
+
+
 def utilization_series(
     events: Sequence[dict], capacity: int | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """(times, used_cores) step function from capacity-carrying events."""
-    if capacity is None:
-        for event in events:
-            if event.get("kind") == ev.RUN_START:
-                capacity = int(event["capacity"])
-                break
+    capacity = run_start_capacity(events, capacity)
     if capacity is None:
         raise ValueError("capacity unknown: no run_start header and no override")
     times: list[float] = []
@@ -185,11 +194,7 @@ def render_timeline(
     # import would close an import cycle through repro.sched.engine
     from ..viz import bar, render_table, seconds
 
-    if capacity is None:
-        for event in events:
-            if event.get("kind") == ev.RUN_START:
-                capacity = int(event["capacity"])
-                break
+    capacity = run_start_capacity(events, capacity)
     times, used = utilization_series(events, capacity)
     if len(times) == 0:
         return "(no capacity events captured)"

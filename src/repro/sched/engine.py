@@ -154,8 +154,10 @@ def simulate(
         ``"easy"`` (default) runs this readable reference implementation;
         ``"fast"`` dispatches to the bit-identical vectorized
         structure-of-arrays engine (:mod:`repro.sched.fast`,
-        docs/PERFORMANCE.md).  The fast engine supports ``profiler`` but
-        not ``faults``/``tracer``/``metrics``.
+        docs/PERFORMANCE.md).  The fast engine supports ``profiler``,
+        ``tracer`` (via columnar recording that decodes to the identical
+        event stream — see :mod:`repro.obs.columnar`) and ``metrics``,
+        but not ``faults``.
     """
     if engine not in ("easy", "fast"):
         raise ValueError(f"unknown engine {engine!r}; expected 'easy' or 'fast'")
@@ -430,6 +432,7 @@ def simulate(
                         submitted=float(submit[next_submit]),
                         cores=int(cores[next_submit]),
                         queue=len(pending),
+                        user=int(users[next_submit]),
                     )
                 if metrics is not None:
                     c_submitted.inc()

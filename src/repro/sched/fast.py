@@ -25,6 +25,19 @@ flat arrays instead of per-job Python objects:
   reference's scalar budget re-checks, which keeps every start decision —
   and the order backfill consumes ``extra`` — bit-identical.
 
+* **Columnar event recording.**  ``tracer=``/``metrics=`` are accepted
+  without giving up the batched hot path: each decision stages only its
+  non-derivable scalars into per-kind flat lists (never a dict) and a
+  vectorized flush scatters them in blocks — reconstructing cores, user,
+  submit time and wait from the workload arrays — into a
+  :class:`~repro.obs.columnar.ColumnarRecorder`, whose decoder
+  reproduces the reference engine's typed dict stream exactly — same kinds,
+  fields, key order and float values.  A foreign tracer (``JsonlTracer``,
+  ``RingBufferTracer``, ...) gets the decoded stream replayed into it when
+  the run completes; metrics update at the same points, with batch-friendly
+  counter increments.  The only documented difference is provenance: the
+  ``run_start`` event carries ``engine="fast"``.
+
 **Equivalence argument** (details in ``docs/PERFORMANCE.md``): within one
 scheduling round the clock is fixed, so a policy's scores are fixed, and the
 reference's re-sort after serving each head is the identity permutation on
@@ -34,11 +47,12 @@ same sequence of starts.  Fair-share is the one policy whose scores change
 every served head exactly like the reference.  All arithmetic happens on
 the same IEEE-754 doubles in the same order; the differential fuzz suite
 (``repro fuzz --engine fast``) and ``tests/test_fast_engine.py`` pin the
-results bit-exact against the reference and the O(n²) oracle.
+results — and the decoded event streams — bit-exact against the reference
+and the O(n²) oracle.
 
 The reference engine stays the readable specification (and the only one
-with fault injection and per-decision tracer/metrics streams); select this
-one with ``simulate(engine="fast")`` or ``repro simulate --engine fast``.
+with fault injection); select this one with ``simulate(engine="fast")`` or
+``repro simulate --engine fast``.
 """
 
 from __future__ import annotations
@@ -49,6 +63,8 @@ from math import inf
 
 import numpy as np
 
+from ..obs import events as ev
+from ..obs.columnar import KIND_CODE, ColumnarRecorder
 from ..obs.profiling import NULL_PROFILER
 from .backfill import BackfillConfig, EASY
 from .engine import SimResult, USAGE_EPS
@@ -78,17 +94,18 @@ def simulate_fast(
     Accepts the same workload/policy/backfill arguments as
     :func:`repro.sched.engine.simulate` and returns the same
     :class:`~repro.sched.engine.SimResult` (bit-for-bit, including
-    ``promised`` and ``queue_samples``).  ``tracer``/``metrics`` are
-    rejected: the fast engine batches whole event groups and has no
-    per-decision stream — use the reference engine for instrumented runs.
-    ``profiler`` is supported at coarse granularity (one ``simulate`` root
-    span; the per-round fine spans only exist in the reference engine).
+    ``promised`` and ``queue_samples``).  ``tracer`` is supported through
+    columnar recording: events stage as flat scalars and decode — exactly,
+    field-for-field — to the reference engine's stream, either directly (a
+    :class:`~repro.obs.columnar.ColumnarRecorder` records in place) or via
+    replay into any other tracer when the run completes.  ``metrics``
+    updates the same instruments at the same points as the reference, with
+    batched counter increments.  ``profiler`` is supported at coarse
+    granularity (one ``simulate`` root span; the per-round fine spans only
+    exist in the reference engine).  ``tracer=None`` / ``metrics=None``
+    keep the hot loop untouched: un-instrumented results stay bit-identical
+    to instrumented ones.
     """
-    if tracer is not None or metrics is not None:
-        raise ValueError(
-            "the fast engine has no per-decision event stream; use the "
-            "reference engine (engine='easy') for tracer/metrics runs"
-        )
     if isinstance(policy, str):
         policy = get_policy(policy)
     n = workload.n
@@ -114,6 +131,138 @@ def simulate_fast(
     runtime_l = runtime.tolist()
 
     prof = NULL_PROFILER if profiler is None else profiler
+
+    # observability sinks.  Recording stages only the non-derivable scalars
+    # of each decision into per-kind flat lists and bulk-flushes them into
+    # a columnar recorder in blocks — no per-event dicts (or even tuples of
+    # constants) in the hot loop.  A non-columnar tracer gets the decoded
+    # stream replayed into it after the run (byte-identical to the
+    # reference's live emission).
+    rec: ColumnarRecorder | None = None
+    sink = None
+    if tracer is not None and getattr(tracer, "enabled", True):
+        if isinstance(tracer, ColumnarRecorder):
+            rec = tracer
+        else:
+            rec = ColumnarRecorder()
+            sink = tracer
+    mets = metrics is not None
+    if mets:
+        # same instruments, registration order and update points as the
+        # reference engine, so the exported payloads compare equal
+        g_free = metrics.gauge("sim_free_cores", "unallocated cores")
+        g_queue = metrics.gauge("sim_queue_depth", "jobs waiting in the queue")
+        g_util = metrics.gauge("sim_utilization", "allocated fraction of capacity")
+        c_submitted = metrics.counter("sim_jobs_submitted_total", "jobs entering the queue")
+        c_started = metrics.counter("sim_jobs_started_total", "job starts")
+        c_finished = metrics.counter("sim_jobs_finished_total", "job completions")
+        c_backfilled = metrics.counter("sim_jobs_backfilled_total", "starts that jumped a blocked head")
+        h_wait = metrics.histogram("sim_wait_seconds", "submission-to-start wait")
+        g_free.set(capacity)
+    if rec is not None:
+        C_SUB = KIND_CODE[ev.SUBMIT]
+        C_START = KIND_CODE[ev.START]
+        C_FIN = KIND_CODE[ev.FINISH]
+        C_RES = KIND_CODE[ev.RESERVATION]
+        C_BF = KIND_CODE[ev.BACKFILL]
+        OUT_COMPLETED = rec.outcome_code("completed")
+        # per-kind flat staging: each decision costs one small-int append
+        # (stream order) plus one C-level extend of only the fields the
+        # flush cannot reconstruct from the workload arrays (cores, user,
+        # submitted and wait are all derivable from the job id).
+        korder: list[int] = []
+        kord_app = korder.append
+        sub_stage: list[float] = []  # (t, job, queue)        x3
+        st_stage: list[float] = []   # (t, job, free, queue)  x4
+        fin_stage: list[float] = []  # (t, job, free)         x3
+        res_stage: list[float] = []  # (t, job, extra, queue, free, shadow)
+        bf_stage: list[float] = []   # (t, job, flags, shadow, limit)
+        sub_ext = sub_stage.extend
+        st_ext = st_stage.extend
+        fin_ext = fin_stage.extend
+        res_ext = res_stage.extend
+        bf_ext = bf_stage.extend
+
+        def flush_stage() -> None:
+            """Scatter the staged per-kind rows into the recorder columns.
+
+            One ``np.fromiter`` per staged buffer plus vectorized fills of
+            the derivable fields; the interleaving across kinds comes from
+            ``korder``, which logs one kind code per event in stream
+            order."""
+            k = len(korder)
+            if not k:
+                return
+            kc = np.fromiter(korder, np.int8, k)
+            tc = np.empty(k, dtype=np.float64)
+            jc = np.empty(k, dtype=np.int64)
+            i0 = np.zeros(k, dtype=np.int32)
+            i1 = np.zeros(k, dtype=np.int32)
+            i2 = np.zeros(k, dtype=np.int64)
+            f0 = np.zeros(k, dtype=np.float64)
+            f1 = np.zeros(k, dtype=np.float64)
+
+            def rows(buf: list[float], width: int, code: int):
+                idx = np.flatnonzero(kc == code)
+                if not len(idx):
+                    return None, idx
+                m = np.fromiter(
+                    buf, np.float64, len(idx) * width
+                ).reshape(-1, width)
+                tc[idx] = m[:, 0]
+                jc[idx] = m[:, 1].astype(np.int64)
+                return m, idx
+
+            m, idx = rows(sub_stage, 3, C_SUB)
+            if m is not None:
+                j = jc[idx]
+                i0[idx] = cores[j]
+                i1[idx] = m[:, 2]
+                i2[idx] = users[j]
+                f0[idx] = submit[j]
+            m, idx = rows(st_stage, 4, C_START)
+            if m is not None:
+                j = jc[idx]
+                i0[idx] = cores[j]
+                i1[idx] = m[:, 2]
+                i2[idx] = m[:, 3]
+                # same IEEE subtraction the reference performs per event
+                f0[idx] = m[:, 0] - submit[j]
+            m, idx = rows(fin_stage, 3, C_FIN)
+            if m is not None:
+                i0[idx] = cores[jc[idx]]
+                i1[idx] = m[:, 2]
+                i2[idx] = OUT_COMPLETED
+            m, idx = rows(res_stage, 6, C_RES)
+            if m is not None:
+                i0[idx] = m[:, 2]
+                i1[idx] = m[:, 3]
+                i2[idx] = m[:, 4]
+                f0[idx] = m[:, 5]
+            m, idx = rows(bf_stage, 5, C_BF)
+            if m is not None:
+                i0[idx] = cores[jc[idx]]
+                i1[idx] = m[:, 2]
+                f0[idx] = m[:, 3]
+                f1[idx] = m[:, 4]
+
+            rec.append_arrays(kc, tc, jc, i0, i1, i2, f0, f1)
+            korder.clear()
+            sub_stage.clear()
+            st_stage.clear()
+            fin_stage.clear()
+            res_stage.clear()
+            bf_stage.clear()
+
+        rec.emit(
+            ev.RUN_START,
+            float(submit_l[0]),
+            capacity=int(capacity),
+            n_jobs=int(n),
+            policy=getattr(policy, "name", type(policy).__name__),
+            backfill=backfill.as_dict(),
+            engine="fast",
+        )
 
     # fair-share support: per-user decayed core-second usage on a dense
     # vector (users remapped to 0..k-1); values match the reference dict
@@ -207,8 +356,14 @@ def simulate_fast(
         if not prom_f[head]:
             prom_f[head] = 1
             promised_l[head] = shadow
+        if rec is not None:
+            # the reference reserves (and emits) on every blocked round,
+            # before it even looks at backfill; queue still counts the head
+            kord_app(C_RES)
+            res_ext((now, head, extra, n_live, free, shadow))
         if not backfill.enabled or rest is None or not len(rest) or free == 0:
             return
+        q0 = n_live  # the reference defers pending deletes across the scan
         frac = backfill.relax_fraction(n_live, observed_max_q)
         limit = shadow + frac * max(shadow - submit_l[head], 0.0)
         # vectorized prefilter: free and extra only shrink during the scan
@@ -240,11 +395,29 @@ def simulate_fast(
                 return
             p = i + am
             j = int(rest[p])
-            if not fits_w[p]:
+            fw = fits_w[p]
+            if rec is not None:
+                # fits_extra is evaluated against the budget *before* this
+                # start consumes it, exactly as the reference reports it
+                kord_app(C_BF)
+                bf_ext((
+                    now, j,
+                    (1 if fw else 0) | (2 if cores_l[j] <= extra else 0),
+                    shadow, limit,
+                ))
+            if mets:
+                c_backfilled.inc()
+            if not fw:
                 # consuming the reservation's spare cores shrinks it; a
                 # window-fit start never does (see the PR 3 regression test)
                 extra -= cores_l[j]
             start_job(j, now)
+            if rec is not None:
+                kord_app(C_START)
+                st_ext((now, j, free, q0))
+            if mets:
+                c_started.inc()
+                h_wait.observe(now - submit_l[j])
             backf_f[j] = 1
             n_live -= 1
             i = p + 1
@@ -328,6 +501,13 @@ def simulate_fast(
             head = int(qbuf[h])
             if cores_l[head] <= free:
                 start_job(head, now)
+                if rec is not None:
+                    # queue counts the head itself, free is post-allocation
+                    kord_app(C_START)
+                    st_ext((now, head, free, n_live))
+                if mets:
+                    c_started.inc()
+                    h_wait.observe(now - submit_l[head])
                 n_live -= 1
                 h += 1
                 continue
@@ -362,8 +542,22 @@ def simulate_fast(
         csum = np.cumsum(cores[ranked])
         k = int(np.searchsorted(csum, free, side="right"))
         if k:
-            for j in ranked[:k].tolist():
-                start_job(j, now)
+            if rec is None and not mets:
+                for j in ranked[:k].tolist():
+                    start_job(j, now)
+            else:
+                # the reference serves these one by one, deleting each from
+                # pending before the next — the queue field counts down
+                q = n_live
+                for j in ranked[:k].tolist():
+                    start_job(j, now)
+                    if rec is not None:
+                        kord_app(C_START)
+                        st_ext((now, j, free, q))
+                    if mets:
+                        c_started.inc()
+                        h_wait.observe(now - submit_l[j])
+                    q -= 1
             n_live -= k
         if k == len(ranked):
             return
@@ -401,6 +595,12 @@ def simulate_fast(
             head = int(ranked[0])
             if cores_l[head] <= free:
                 start_job(head, now)
+                if rec is not None:
+                    kord_app(C_START)
+                    st_ext((now, head, free, n_live))
+                if mets:
+                    c_started.inc()
+                    h_wait.observe(now - submit_l[head])
                 n_live -= 1
                 continue  # usage moved: re-rank before the next head
             blocked_head(head, now, ranked[1:])
@@ -427,22 +627,44 @@ def simulate_fast(
         t_sub = submit_l[next_submit] if next_submit < n else INF
         t_fin = finish_heap[0][0] if finish_heap else INF
         now = t_sub if t_sub <= t_fin else t_fin
+        if mets:
+            metrics.sample(now)
         while finish_heap and finish_heap[0][0] <= now:
             _end, j = heappop(finish_heap)
             free += cores_l[j]
             i = bisect_left(running, (exp_end[j], cores_l[j]))
             del running[i]
+            if rec is not None:
+                kord_app(C_FIN)
+                fin_ext((now, j, free))
+            if mets:
+                c_finished.inc()
         if next_submit < n and t_sub <= now:
             # batched drain: everything submitted up to `now` in one probe
             hi = bisect_right(submit_l, now, next_submit)
+            if rec is not None:
+                # the reference reports queue depth *after* each insertion
+                q = n_live
+                for j in range(next_submit, hi):
+                    q += 1
+                    kord_app(C_SUB)
+                    sub_ext((now, j, q))
+            if mets:
+                c_submitted.inc(hi - next_submit)
             push_batch(next_submit, hi)
             next_submit = hi
         schedule(now)
+        if rec is not None and len(korder) >= 8192:
+            flush_stage()
+        if mets:
+            g_free.set(free)
+            g_queue.set(n_live)
+            g_util.set((capacity - free) / capacity)
     root_span.__exit__(None, None, None)
 
     start = np.asarray(start_l, dtype=np.float64)
     assert n_live == 0 and bool(np.all(start >= 0)), "scheduler left jobs unserved"
-    return SimResult(
+    result = SimResult(
         workload=workload,
         capacity=capacity,
         start=start,
@@ -451,3 +673,15 @@ def simulate_fast(
         queue_samples=np.asarray(q_samples, dtype=np.int64),
         queue_sample_times=np.asarray(q_times, dtype=np.float64),
     )
+    if rec is not None:
+        flush_stage()
+        rec.emit(
+            ev.RUN_END,
+            now,
+            makespan=float(result.makespan),
+            started=int(n),
+            backfilled=int(result.backfilled.sum()),
+        )
+        if sink is not None:
+            rec.replay(sink)
+    return result

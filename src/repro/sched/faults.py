@@ -850,6 +850,7 @@ def simulate_with_faults(
                             submitted=float(t),
                             cores=int(cores[payload]),
                             queue=len(pending),
+                            user=int(users[payload]),
                             resubmitted=True,
                         )
                     if metrics is not None:
@@ -864,6 +865,7 @@ def simulate_with_faults(
                         submitted=float(submit[next_submit]),
                         cores=int(cores[next_submit]),
                         queue=len(pending),
+                        user=int(users[next_submit]),
                     )
                 if metrics is not None:
                     c_submitted.inc()

@@ -196,6 +196,61 @@ def _diff_results(engine: SimResult, oracle: SimResult) -> list[str]:
     return diffs
 
 
+def _diff_streams(
+    workload: SimWorkload, capacity: int, policy: FuzzPolicy
+) -> list[str]:
+    """Fast-vs-reference event-stream differential (byte-level).
+
+    Replays the case through both engines with tracers attached — the
+    reference emitting live, the fast engine through columnar recording —
+    and compares the streams as canonical JSON lines, so a wrong field,
+    value, key order or event ordering all surface.  The one documented
+    difference, ``run_start``'s ``engine`` provenance field, is masked.
+    The decoded fast stream must also pass the offline event audit.
+    """
+    import json
+
+    from ..obs import RingBufferTracer, check_events
+    from ..obs.columnar import ColumnarRecorder
+
+    ref = RingBufferTracer(capacity=1 << 20)
+    simulate(
+        workload, capacity, policy.policy, policy.backfill,
+        tracer=ref, engine="easy",
+    )
+    rec = ColumnarRecorder()
+    simulate(
+        workload, capacity, policy.policy, policy.backfill,
+        tracer=rec, engine="fast",
+    )
+    fast_events = rec.to_events()
+    findings = [f"fast stream audit: {v}" for v in check_events(fast_events)]
+
+    def lines(events: list[dict]) -> list[str]:
+        return [
+            json.dumps(
+                {**e, "engine": "*"} if e.get("kind") == "run_start" else e,
+                separators=(",", ":"),
+            )
+            for e in events
+        ]
+
+    a, b = lines(ref.events), lines(fast_events)
+    if a != b:
+        if len(a) != len(b):
+            findings.append(
+                f"stream: {len(a)} reference event(s) != {len(b)} fast"
+            )
+        shown = 0
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                findings.append(f"stream event {i}: reference {x} != fast {y}")
+                shown += 1
+                if shown >= 5:
+                    break
+    return findings
+
+
 def check_case(
     workload: SimWorkload,
     capacity: int,
@@ -207,7 +262,9 @@ def check_case(
     Combines the engine-vs-oracle differential with the invariant battery
     on *both* schedules — a bug in the oracle itself surfaces as an
     ``oracle:``-prefixed invariant violation rather than silently blessing
-    a matching engine bug.
+    a matching engine bug.  The ``fast`` impl additionally runs the
+    fast-vs-reference event-stream differential, so a divergence in the
+    decoded columnar trace shrinks like any schedule divergence.
     """
     engine_res = policy.run_engine(workload, capacity, impl=impl)
     oracle_res = policy.run_oracle(workload, capacity)
@@ -221,6 +278,8 @@ def check_case(
         f"oracle: {v}"
         for v in invariants.check_result(oracle_res, firm_promises=firm)
     ]
+    if impl == "fast" and policy.supports_impl("fast"):
+        findings += _diff_streams(workload, capacity, policy)
     return findings
 
 

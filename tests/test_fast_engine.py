@@ -254,14 +254,17 @@ class TestEngineDispatch:
         with pytest.raises(ValueError, match="reference engine"):
             simulate(self._wl(), CAPACITY, faults=cfg, engine="fast")
 
-    def test_fast_rejects_event_hooks(self):
-        class Sink:  # any non-None sentinel
-            pass
+    def test_fast_accepts_event_hooks(self):
+        from repro.obs import Metrics, RingBufferTracer, check_events
 
-        with pytest.raises(ValueError, match="tracer"):
-            simulate_fast(self._wl(), CAPACITY, tracer=Sink())
-        with pytest.raises(ValueError, match="metrics"):
-            simulate_fast(self._wl(), CAPACITY, metrics=Sink())
+        wl = self._wl()
+        tracer = RingBufferTracer(capacity=1 << 16)
+        metrics = Metrics()
+        res = simulate_fast(wl, CAPACITY, tracer=tracer, metrics=metrics)
+        assert check_events(tracer.events) == []
+        payload = metrics.to_dict()
+        assert payload["counters"]["sim_jobs_started_total"] == len(wl.submit)
+        _assert_identical(res, simulate_fast(wl, CAPACITY))
 
     def test_fast_accepts_profiler(self):
         from repro.obs import Profiler
@@ -386,7 +389,7 @@ class TestCliEngineFlag:
         )
         assert capsys.readouterr().out == easy_out
 
-    def test_fast_conflicts_exit_2(self, swf_path, tmp_path, capsys):
+    def test_fast_fault_conflict_exit_2(self, swf_path, capsys):
         assert (
             main(
                 [
@@ -398,17 +401,30 @@ class TestCliEngineFlag:
             == 2
         )
         assert "fault" in capsys.readouterr().err
-        assert (
-            main(
-                [
-                    "simulate", str(swf_path),
-                    "--engine", "fast",
-                    "--trace-out", str(tmp_path / "ev.jsonl"),
-                ]
+
+    def test_fast_trace_out_matches_easy(self, swf_path, tmp_path, capsys):
+        """--trace-out now works on the fast engine: the decoded columnar
+        stream must match the reference byte-for-byte modulo the
+        run_start engine provenance field."""
+        easy_path = tmp_path / "easy.jsonl"
+        fast_path = tmp_path / "fast.jsonl"
+        for engine, path in (("easy", easy_path), ("fast", fast_path)):
+            assert (
+                main(
+                    [
+                        "simulate", str(swf_path),
+                        "--engine", engine,
+                        "--trace-out", str(path),
+                    ]
+                )
+                == 0
             )
-            == 2
-        )
-        assert "tracer" in capsys.readouterr().err
+        capsys.readouterr()
+        easy_lines = easy_path.read_text().splitlines()
+        fast_lines = fast_path.read_text().splitlines()
+        assert len(easy_lines) == len(fast_lines)
+        assert easy_lines[0].replace('"easy"', '"fast"') == fast_lines[0]
+        assert easy_lines[1:] == fast_lines[1:]
 
     def test_fast_profile_flag_ok(self, swf_path, capsys):
         assert (
@@ -448,17 +464,21 @@ class TestCliEngineFlag:
         assert "conservative" in capsys.readouterr().err
 
     def test_metrics_out_payload_identical(self, swf_path, tmp_path, capsys):
-        """--metrics-out stays an easy-engine feature; the fast path's
-        to_dict must agree with it anyway (checked via the sweep table
-        above) — here we just pin the conflict message mentions easy."""
-        assert (
-            main(
-                [
-                    "simulate", str(swf_path),
-                    "--engine", "fast",
-                    "--metrics-out", str(tmp_path / "m.json"),
-                ]
+        """--metrics-out on the fast engine writes the exact payload the
+        reference engine would (instrument-for-instrument, sample-for-
+        sample)."""
+        easy_path = tmp_path / "easy.json"
+        fast_path = tmp_path / "fast.json"
+        for engine, path in (("easy", easy_path), ("fast", fast_path)):
+            assert (
+                main(
+                    [
+                        "simulate", str(swf_path),
+                        "--engine", engine,
+                        "--metrics-out", str(path),
+                    ]
+                )
+                == 0
             )
-            == 2
-        )
-        assert "--engine easy" in capsys.readouterr().err
+        capsys.readouterr()
+        assert easy_path.read_text() == fast_path.read_text()
