@@ -24,7 +24,7 @@ Subcommands::
                     [--engine easy|fast] [--sample-hz HZ]
                     [--trace-out trace.json] [--stacks-out stacks.txt]
     repro fuzz      [--budget N] [--seed S] [--policy P[,P2,...]]
-                    [--engine reference|fast]
+                    [--engine reference|fast|fast-conservative|fast-faults]
                     [--capacity C] [--max-jobs N] [--out repro.swf]
     repro study     [--days D] [--seed S] [--report out.md]
 
@@ -505,13 +505,6 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"invalid fault configuration: {exc}", file=sys.stderr)
         return 2
-    if args.engine == "fast" and faults is not None:
-        print(
-            "--engine fast has no fault-injection hooks; drop the fault "
-            "flags or use --engine easy (docs/PERFORMANCE.md)",
-            file=sys.stderr,
-        )
-        return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.profile)
     wants_telemetry = bool(args.run_log) or args.progress != "none"
     wants_crash_safety = (
@@ -768,13 +761,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .traces.swf import format_swf_lines
 
     if args.policy is None:
-        # the fast engine covers the EASY family only, so its default
-        # campaign swaps conservative for the SJF+EASY configuration
-        args.policy = (
-            "fcfs,sjf,easy,sjf-easy"
-            if args.engine == "fast"
-            else "fcfs,sjf,easy,conservative"
-        )
+        # the fast EASY-family impls swap conservative for the SJF+EASY
+        # configuration; the fast-conservative twin covers only it
+        args.policy = {
+            "fast": "fcfs,sjf,easy,sjf-easy",
+            "fast-conservative": "conservative",
+            "fast-faults": "fcfs,sjf,easy,sjf-easy",
+        }.get(args.engine, "fcfs,sjf,easy,conservative")
     policies = [p.strip() for p in args.policy.split(",") if p.strip()]
     unknown = [p for p in policies if p not in FUZZ_POLICIES]
     if not policies or unknown:
@@ -789,10 +782,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         p for p in policies if not FUZZ_POLICIES[p].supports_impl(args.engine)
     ]
     if unsupported:
+        hint = (
+            "conservative backfilling is covered by --engine "
+            "fast-conservative"
+            if args.engine in ("fast", "fast-faults")
+            else "it covers the conservative configuration only"
+        )
         print(
-            f"--engine fast cannot fuzz {unsupported}: conservative "
-            "backfilling has no fast implementation; drop it from --policy "
-            "or use --engine reference",
+            f"--engine {args.engine} cannot fuzz {unsupported}: {hint}; "
+            "drop them from --policy or use --engine reference",
             file=sys.stderr,
         )
         return 2
@@ -925,8 +923,8 @@ def main(argv: list[str] | None = None) -> int:
         default="easy",
         help="engine implementation: easy = readable per-job reference, "
         "fast = vectorized structure-of-arrays rewrite (bit-identical "
-        "schedules and event streams via columnar recording, ~10-20x "
-        "faster at scale; no fault injection — see docs/PERFORMANCE.md)",
+        "schedules, event streams, conservative profiles and fault "
+        "injection, ~5-20x faster at scale — see docs/PERFORMANCE.md)",
     )
     p.add_argument("--relax", type=float, default=0.1)
     p.add_argument("--max-jobs", type=int, default=0)
@@ -1198,16 +1196,20 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated configurations to fuzz "
         "(fcfs/sjf = pure queue order, easy = FCFS+EASY backfill, "
         "sjf-easy = SJF+EASY, conservative = conservative backfill); "
-        "default fcfs,sjf,easy,conservative — with --engine fast, "
-        "conservative is swapped for sjf-easy",
+        "default fcfs,sjf,easy,conservative — the fast EASY-family "
+        "engines swap conservative for sjf-easy, fast-conservative "
+        "defaults to conservative alone",
     )
     p.add_argument(
         "--engine",
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "fast-conservative", "fast-faults"),
         default="reference",
         help="production implementation to face the oracle: reference = "
         "the readable per-job engines, fast = the vectorized "
-        "repro.sched.fast rewrite (docs/PERFORMANCE.md)",
+        "repro.sched.fast rewrite, fast-conservative = the vectorized "
+        "profile-rebuild twin, fast-faults = the vectorized fault engine "
+        "diffed whole-result against repro.sched.faults over the "
+        "FUZZ_FAULT_CONFIGS matrix (docs/PERFORMANCE.md)",
     )
     p.add_argument(
         "--capacity", type=int, default=16, help="fuzzed cluster size"

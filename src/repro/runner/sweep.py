@@ -46,7 +46,6 @@ from ..sched import (
     compute_metrics,
     compute_resilience_metrics,
     simulate,
-    simulate_with_faults,
     workload_from_trace,
 )
 from ..sched.job import SimWorkload
@@ -258,21 +257,20 @@ def _run_cell(task: SimTask, profiler=None, metrics=None) -> TaskResult:
         capacity = task.resolved_capacity()
 
     if task.faults is not None:
-        if task.engine != "easy":
-            raise ValueError(
-                f"task {task.label!r}: fault injection requires the "
-                "reference engine (engine='easy')"
-            )
-        result = simulate_with_faults(
+        # engine="fast" dispatches to the bit-identical vectorized fault
+        # engine (repro.sched.fast_faults); the cache fingerprint already
+        # names the engine, so easy/fast cells never collide
+        result = simulate(
             workload,
             capacity,
             task.policy,
             task.backfill,
-            task.faults,
+            faults=task.faults,
             track_queue=task.track_queue,
             kill_at_walltime=task.kill_at_walltime,
             metrics=metrics,
             profiler=profiler,
+            engine=task.engine,
         )
         resilience = compute_resilience_metrics(result).as_dict()
     else:

@@ -15,6 +15,8 @@ from .conservative import simulate_conservative
 from .engine import SimResult, simulate
 from .export import result_to_trace
 from .fast import simulate_fast
+from .fast_conservative import simulate_fast_conservative
+from .fast_faults import simulate_fast_with_faults
 from .faults import (
     NO_FAULTS,
     FaultConfig,
@@ -46,6 +48,8 @@ from .virtual import (
 __all__ = [
     "simulate",
     "simulate_fast",
+    "simulate_fast_conservative",
+    "simulate_fast_with_faults",
     "simulate_conservative",
     "simulate_with_faults",
     "simulate_packed_with_faults",

@@ -156,16 +156,27 @@ def simulate(
         structure-of-arrays engine (:mod:`repro.sched.fast`,
         docs/PERFORMANCE.md).  The fast engine supports ``profiler``,
         ``tracer`` (via columnar recording that decodes to the identical
-        event stream — see :mod:`repro.obs.columnar`) and ``metrics``,
-        but not ``faults``.
+        event stream — see :mod:`repro.obs.columnar`), ``metrics``, and
+        ``faults`` (via :mod:`repro.sched.fast_faults`, bit-identical to
+        the reference fault engine).
     """
     if engine not in ("easy", "fast"):
         raise ValueError(f"unknown engine {engine!r}; expected 'easy' or 'fast'")
     if engine == "fast":
         if faults is not None:
-            raise ValueError(
-                "fault injection needs the reference engine; "
-                "drop engine='fast' or faults"
+            from .fast_faults import simulate_fast_with_faults
+
+            return simulate_fast_with_faults(
+                workload,
+                capacity,
+                policy,
+                backfill,
+                faults,
+                track_queue=track_queue,
+                kill_at_walltime=kill_at_walltime,
+                tracer=tracer,
+                metrics=metrics,
+                profiler=profiler,
             )
         from .fast import simulate_fast
 

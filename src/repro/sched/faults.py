@@ -409,6 +409,34 @@ class FaultSimResult:
         default_factory=lambda: np.array([], dtype=np.float64)
     )
 
+    #: canonical array dtypes — enforced on every construction path so
+    #: cache round-trips and platform-default ``np.asarray`` calls (int32
+    #: on Windows) cannot change a result's serialized bytes
+    _ARRAY_DTYPES = (
+        ("start", np.float64),
+        ("end", np.float64),
+        ("status", np.int64),
+        ("attempts", np.int64),
+        ("promised", np.float64),
+        ("backfilled", np.bool_),
+        ("attempt_job", np.int64),
+        ("attempt_start", np.float64),
+        ("attempt_elapsed", np.float64),
+        ("attempt_outcome", np.int64),
+        ("node_fail_times", np.float64),
+        ("node_fail_nodes", np.int64),
+        ("node_repair_times", np.float64),
+        ("queue_samples", np.int64),
+        ("queue_sample_times", np.float64),
+    )
+
+    def __post_init__(self) -> None:
+        for name, dtype in self._ARRAY_DTYPES:
+            arr = np.asarray(getattr(self, name))
+            if arr.dtype != dtype:
+                arr = arr.astype(dtype)
+            setattr(self, name, arr)
+
     @property
     def wait(self) -> np.ndarray:
         """Per-job time from submission to first service."""

@@ -127,6 +127,24 @@ class ResilienceMetrics:
     mean_wait: float
     n_jobs: int
 
+    def __post_init__(self) -> None:
+        # numpy scalars slipped through here before PR 10; pin builtin
+        # float/int so cached JSON payloads serialize identically
+        # everywhere (mirrors FaultSimResult's array-dtype canon)
+        for f, caster in (
+            ("goodput_core_hours", float),
+            ("wasted_core_hours", float),
+            ("effective_util", float),
+            ("completed_fraction", float),
+            ("failed_fraction", float),
+            ("killed_fraction", float),
+            ("mean_attempts", float),
+            ("max_attempts", int),
+            ("mean_wait", float),
+            ("n_jobs", int),
+        ):
+            object.__setattr__(self, f, caster(getattr(self, f)))
+
     @property
     def waste_share(self) -> float:
         """Wasted fraction of all occupied core-hours."""

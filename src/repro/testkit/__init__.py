@@ -27,6 +27,8 @@ golden tests (``tests/test_goldens.py``) pin end-to-end experiment output.
 
 from .chaos import NO_CHAOS, ChaosConfig, ChaosError
 from .fuzz import (
+    ENGINE_IMPLS,
+    FUZZ_FAULT_CONFIGS,
     FUZZ_POLICIES,
     Divergence,
     FuzzPolicy,
@@ -42,6 +44,7 @@ from .invariants import (
     check_capacity,
     check_conservation,
     check_events,
+    check_fault_result,
     check_no_early_start,
     check_promises,
     check_result,
@@ -53,6 +56,7 @@ __all__ = [
     "oracle_simulate",
     "ORACLE_POLICIES",
     "check_result",
+    "check_fault_result",
     "check_capacity",
     "check_no_early_start",
     "check_all_served",
@@ -63,6 +67,8 @@ __all__ = [
     "fuzz",
     "FuzzPolicy",
     "FUZZ_POLICIES",
+    "FUZZ_FAULT_CONFIGS",
+    "ENGINE_IMPLS",
     "FuzzReport",
     "Divergence",
     "check_case",

@@ -2,10 +2,22 @@
 
 The fuzzer generates seeded randomized workloads — deliberately including
 the adversarial shapes that historically break schedulers: zero-runtime
-jobs, full-cluster jobs, bursts of simultaneous submissions, and exact
-``walltime == runtime`` ties — and demands that the optimized engines
-produce **bit-identical** schedules to the :mod:`repro.testkit.oracle`,
-while also passing the :mod:`repro.testkit.invariants` battery.
+jobs, full-cluster jobs, bursts of simultaneous submissions, exact
+``walltime == runtime`` ties, near-capacity wide jobs (dense reservation
+chains through the conservative profile), and far-future walltime pads
+(checkpoint-at-walltime edges under fault injection) — and demands that
+the optimized engines produce **bit-identical** schedules to the
+:mod:`repro.testkit.oracle`, while also passing the
+:mod:`repro.testkit.invariants` battery.
+
+Four engine implementations face the differential (:data:`ENGINE_IMPLS`):
+the readable ``reference``, the vectorized ``fast`` rewrite, the
+``fast-conservative`` profile twin, and ``fast-faults`` — which swaps the
+oracle for the reference fault engine and diffs complete
+:class:`~repro.sched.FaultSimResult` objects over the
+:data:`FUZZ_FAULT_CONFIGS` matrix (node-failure bursts, retry storms,
+checkpointed restarts), including the fault invariant battery on both
+sides.
 
 On a divergence the failing workload is *shrunk* to a minimal reproducer:
 
@@ -35,10 +47,13 @@ from ..frame import Frame
 from ..sched import (
     EASY,
     NO_BACKFILL,
+    NO_FAULTS,
     BackfillConfig,
+    FaultConfig,
     SimWorkload,
     simulate,
     simulate_conservative,
+    simulate_fast_conservative,
 )
 from ..sched.engine import SimResult
 from ..traces.schema import Trace
@@ -49,6 +64,8 @@ from .oracle import oracle_simulate
 __all__ = [
     "FuzzPolicy",
     "FUZZ_POLICIES",
+    "FUZZ_FAULT_CONFIGS",
+    "ENGINE_IMPLS",
     "Divergence",
     "FuzzReport",
     "random_workload",
@@ -57,6 +74,12 @@ __all__ = [
     "fuzz",
     "workload_to_trace",
 ]
+
+#: production implementations a campaign can put under test.  Each fast
+#: twin covers its own engine family: ``fast`` and ``fast-faults`` run
+#: EASY-family configurations, ``fast-conservative`` runs the
+#: conservative configuration (see :meth:`FuzzPolicy.supports_impl`).
+ENGINE_IMPLS = ("reference", "fast", "fast-conservative", "fast-faults")
 
 #: default cluster size for fuzzed workloads — small enough that blocked
 #: heads and backfill opportunities are frequent
@@ -75,10 +98,15 @@ class FuzzPolicy:
     def supports_impl(self, impl: str) -> bool:
         """Whether ``impl`` can run this configuration.
 
-        The vectorized engine reimplements the EASY family only;
-        conservative backfilling keeps a single implementation.
+        ``reference`` runs everything; each vectorized twin covers its
+        own engine family: ``fast`` and ``fast-faults`` the EASY family,
+        ``fast-conservative`` the conservative configuration.
         """
-        return impl == "reference" or self.engine != "conservative"
+        if impl == "reference":
+            return True
+        if impl == "fast-conservative":
+            return self.engine == "conservative"
+        return self.engine != "conservative"
 
     def run_engine(
         self, workload: SimWorkload, capacity: int, impl: str = "reference"
@@ -87,17 +115,29 @@ class FuzzPolicy:
 
         ``impl`` selects which production implementation faces the oracle:
         ``"reference"`` is the readable per-job engine, ``"fast"`` the
-        vectorized :mod:`repro.sched.fast` rewrite (EASY family only).
+        vectorized :mod:`repro.sched.fast` rewrite (EASY family only) and
+        ``"fast-conservative"`` the vectorized
+        :mod:`repro.sched.fast_conservative` twin.  (``"fast-faults"``
+        compares the two *fault* engines over a config matrix rather than
+        producing one schedule — :func:`check_case` handles it directly.)
         """
-        if impl not in ("reference", "fast"):
+        if impl not in ENGINE_IMPLS:
             raise ValueError(
-                f"unknown engine impl {impl!r}; expected 'reference' or 'fast'"
+                f"unknown engine impl {impl!r}; expected one of {ENGINE_IMPLS}"
+            )
+        if not self.supports_impl(impl):
+            raise ValueError(
+                f"configuration {self.name!r} has no {impl!r} implementation"
+            )
+        if impl == "fast-faults":
+            raise ValueError(
+                "impl 'fast-faults' diffs the fault engines over "
+                "FUZZ_FAULT_CONFIGS; run it through check_case"
             )
         if self.engine == "conservative":
-            if impl == "fast":
-                raise ValueError(
-                    "conservative backfilling has no fast implementation; "
-                    "fuzz it with impl='reference'"
+            if impl == "fast-conservative":
+                return simulate_fast_conservative(
+                    workload, capacity, self.policy
                 )
             return simulate_conservative(workload, capacity, self.policy)
         return simulate(
@@ -141,6 +181,45 @@ FUZZ_POLICIES: dict[str, FuzzPolicy] = {
     )
 }
 
+#: fault configurations every ``fast-faults`` case sweeps.  Deterministic
+#: (fixed seeds) so a failure reproduces from ``(seed, case)`` alone, and
+#: chosen against the fuzzed workload shapes: runtimes are integers below
+#: 200s, so MTBF 40s forces mid-run node-failure bursts and checkpoint
+#: interval 50s lands restore amounts exactly on walltime multiples.
+FUZZ_FAULT_CONFIGS: tuple[FaultConfig, ...] = (
+    NO_FAULTS,
+    # intrinsic failures and user kills with retries
+    FaultConfig(
+        fail_prob=0.3, kill_prob=0.15, max_attempts=3,
+        backoff_base=5.0, seed=101,
+    ),
+    # node churn at job-runtime scale
+    FaultConfig(
+        node_mtbf=150.0, node_mttr=60.0, n_nodes=4, max_attempts=5,
+        backoff_base=3.0, seed=202,
+    ),
+    # mid-run node-failure bursts: MTBF far below typical runtimes
+    FaultConfig(
+        node_mtbf=40.0, node_mttr=15.0, n_nodes=6, max_attempts=8,
+        backoff_base=1.0, seed=303,
+    ),
+    # checkpoint-at-walltime edges mixed with intrinsic failures
+    FaultConfig(
+        node_mtbf=80.0, node_mttr=30.0, n_nodes=3, fail_prob=0.2,
+        max_attempts=6, checkpoint_interval=50.0, backoff_base=2.0,
+        seed=404,
+    ),
+)
+
+#: every array field of a ``FaultSimResult`` — the fast-faults diff is
+#: whole-result, attempt and node logs included
+_FAULT_FIELDS = (
+    "start", "end", "status", "attempts", "promised", "backfilled",
+    "attempt_job", "attempt_start", "attempt_elapsed", "attempt_outcome",
+    "node_fail_times", "node_fail_nodes", "node_repair_times",
+    "queue_samples", "queue_sample_times",
+)
+
 
 def random_workload(
     rng: np.random.Generator,
@@ -164,6 +243,17 @@ def random_workload(
     runtime[rng.random(n) < 0.1] = 0.0  # zero-runtime jobs
     pad = rng.integers(0, 100, size=n).astype(float)
     pad[rng.random(n) < 0.3] = 0.0  # walltime == runtime ties
+    # later-added shapes draw strictly *after* every pre-existing draw so
+    # historical (seed, case) pairs keep producing the same base values:
+    # dense reservation chains — stretches of wide jobs force conservative
+    # backfilling to stack many mutually-blocking reservations per round
+    wide = rng.random(n) < 0.2
+    wide_cores = rng.integers(capacity // 2 + 1, capacity + 1, size=n)
+    cores[wide] = wide_cores[wide]
+    # far-future pads push those reservations deep into the profile
+    deep = rng.random(n) < 0.15
+    deep_pad = rng.integers(50, 400, size=n).astype(float)
+    pad[deep] += deep_pad[deep]
     return SimWorkload(
         submit=submit,
         cores=cores.astype(np.int64),
@@ -251,6 +341,68 @@ def _diff_streams(
     return findings
 
 
+def _check_fault_case(
+    workload: SimWorkload, capacity: int, policy: FuzzPolicy
+) -> list[str]:
+    """Findings for one fast-faults case: the fault-engine differential.
+
+    The oracle knows nothing about faults, so the authority here is the
+    readable reference fault engine: for every configuration in
+    :data:`FUZZ_FAULT_CONFIGS` the vectorized twin must reproduce the
+    *whole* :class:`~repro.sched.FaultSimResult` bit for bit — schedule,
+    attempt log, node failure/repair logs and queue samples — and both
+    results must pass the fault invariant battery
+    (:func:`repro.testkit.invariants.check_fault_result`).  The
+    zero-fault configuration must additionally match the plain fast
+    engine, PR 1's ``NO_FAULTS`` reduction guarantee restated for the
+    fast path.
+    """
+    from ..sched import simulate_fast_with_faults, simulate_with_faults
+
+    findings: list[str] = []
+    for idx, cfg in enumerate(FUZZ_FAULT_CONFIGS):
+        ref = simulate_with_faults(
+            workload, capacity, policy.policy, policy.backfill, cfg,
+            track_queue=True,
+        )
+        fast = simulate_fast_with_faults(
+            workload, capacity, policy.policy, policy.backfill, cfg,
+            track_queue=True,
+        )
+        for name in _FAULT_FIELDS:
+            a = getattr(ref, name)
+            b = getattr(fast, name)
+            if a.shape != b.shape or not np.array_equal(a, b, equal_nan=True):
+                findings.append(
+                    f"faults[{idx}] {name}: fast {b[:8].tolist()}... != "
+                    f"reference {a[:8].tolist()}..."
+                )
+        findings += [
+            f"faults[{idx}] fast: {v}"
+            for v in invariants.check_fault_result(fast)
+        ]
+        findings += [
+            f"faults[{idx}] reference: {v}"
+            for v in invariants.check_fault_result(ref)
+        ]
+        if cfg is NO_FAULTS:
+            plain = simulate(
+                workload, capacity, policy.policy, policy.backfill,
+                track_queue=True, engine="fast",
+            )
+            for name in (
+                "start", "promised", "backfilled",
+                "queue_samples", "queue_sample_times",
+            ):
+                if not np.array_equal(
+                    getattr(fast, name), getattr(plain, name), equal_nan=True
+                ):
+                    findings.append(
+                        f"zero-fault {name}: fast-faults != plain fast engine"
+                    )
+    return findings
+
+
 def check_case(
     workload: SimWorkload,
     capacity: int,
@@ -264,8 +416,12 @@ def check_case(
     ``oracle:``-prefixed invariant violation rather than silently blessing
     a matching engine bug.  The ``fast`` impl additionally runs the
     fast-vs-reference event-stream differential, so a divergence in the
-    decoded columnar trace shrinks like any schedule divergence.
+    decoded columnar trace shrinks like any schedule divergence.  The
+    ``fast-faults`` impl swaps the oracle for the reference fault engine
+    and diffs whole fault results over :data:`FUZZ_FAULT_CONFIGS`.
     """
+    if impl == "fast-faults":
+        return _check_fault_case(workload, capacity, policy)
     engine_res = policy.run_engine(workload, capacity, impl=impl)
     oracle_res = policy.run_oracle(workload, capacity)
     firm = policy.firm_promises(workload)
@@ -445,9 +601,14 @@ def fuzz(
     every generated workload scheduled bit-identically on engine and
     oracle and passed every invariant, for every named configuration.
 
-    ``engine_impl`` picks the production implementation facing the oracle
-    (``"reference"`` or ``"fast"``); the fast engine covers the EASY
-    family only, so its campaigns must not name ``conservative``.
+    ``engine_impl`` picks the production implementation under test (one
+    of :data:`ENGINE_IMPLS`).  ``"reference"`` and ``"fast"`` face the
+    O(n²) oracle; ``"fast-conservative"`` faces it through the reference
+    conservative engine's profile semantics and only accepts the
+    ``conservative`` configuration; ``"fast-faults"`` swaps the oracle
+    for the reference fault engine and diffs whole
+    :class:`~repro.sched.FaultSimResult` objects over
+    :data:`FUZZ_FAULT_CONFIGS`.
     """
     names = tuple(policies)
     unknown = [p for p in names if p not in FUZZ_POLICIES]
@@ -455,10 +616,10 @@ def fuzz(
         raise KeyError(
             f"unknown fuzz policies {unknown}; available: {sorted(FUZZ_POLICIES)}"
         )
-    if engine_impl not in ("reference", "fast"):
+    if engine_impl not in ENGINE_IMPLS:
         raise ValueError(
             f"unknown engine impl {engine_impl!r}; "
-            "expected 'reference' or 'fast'"
+            f"expected one of {ENGINE_IMPLS}"
         )
     unsupported = [
         p for p in names if not FUZZ_POLICIES[p].supports_impl(engine_impl)

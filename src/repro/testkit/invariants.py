@@ -28,7 +28,12 @@ The invariants:
   relaxed backfilling or inexact estimates pass ``slack`` / skip it;
 * :func:`check_conservation` — aggregate accounting: non-negative waits,
   makespan no smaller than its work/critical-path lower bounds, and
-  utilization within ``[0, 1]``.
+  utilization within ``[0, 1]``;
+* :func:`check_fault_result` — the battery restated for fault-injected
+  runs (:class:`~repro.sched.FaultSimResult`), where jobs may occupy
+  cores several times before reaching a terminal state: capacity and
+  conservation are checked over the *attempt log*, and the serve checks
+  become retry-semantic (terminal status, bounded attempts).
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ __all__ = [
     "check_promises",
     "check_conservation",
     "check_result",
+    "check_fault_result",
     "check_events",
 ]
 
@@ -162,4 +168,82 @@ def check_result(
     )
     if firm_promises:
         violations += check_promises(result, slack=promise_slack)
+    return violations
+
+
+def check_fault_result(result, tol: float = 1e-6) -> list[str]:
+    """Invariant battery for fault-injected runs (``FaultSimResult``).
+
+    The plain battery does not apply verbatim: a failed or node-killed
+    attempt occupies cores without producing goodput, and a retried job
+    starts several times.  Capacity and conservation therefore sweep the
+    *attempt log* — every attempt holds ``cores[job]`` for its elapsed
+    time — and the serve checks become retry-semantic: every job reaches
+    a terminal status within its attempt budget, and a job's attempts
+    never overlap each other.
+    """
+    w = result.workload
+    violations: list[str] = []
+    nonterminal = np.flatnonzero(result.status < 0)
+    if len(nonterminal):
+        violations.append(f"jobs left non-terminal: {nonterminal.tolist()}")
+    max_attempts = int(result.faults.max_attempts)
+    bad_attempts = np.flatnonzero(
+        (result.attempts < 1) | (result.attempts > max_attempts)
+    )
+    if len(bad_attempts):
+        violations.append(
+            f"attempt counts outside [1, {max_attempts}]: "
+            f"{bad_attempts.tolist()}"
+        )
+    early = np.flatnonzero(result.start < w.submit - tol)
+    violations += [
+        f"job {j} first started at {result.start[j]} before submit "
+        f"{w.submit[j]}"
+        for j in early
+    ]
+    bad_end = np.flatnonzero(
+        ~np.isfinite(result.end) | (result.end < result.start - tol)
+    )
+    if len(bad_end):
+        violations.append(
+            f"jobs with non-finite or pre-start end: {bad_end.tolist()}"
+        )
+    att_job = result.attempt_job
+    att_start = result.attempt_start
+    att_elapsed = result.attempt_elapsed
+    if len(att_job) != int(result.attempts.sum()):
+        violations.append(
+            f"attempt log has {len(att_job)} entries but attempts sum to "
+            f"{int(result.attempts.sum())}"
+        )
+    if np.any(att_elapsed < -tol):
+        violations.append("negative attempt durations")
+    # a job's own attempts must be disjoint in time (retries come after
+    # backoff, never while a previous attempt is still running)
+    order = np.lexsort((att_start, att_job))
+    same = att_job[order][1:] == att_job[order][:-1]
+    ends = att_start[order] + att_elapsed[order]
+    overlap = np.flatnonzero(same & (att_start[order][1:] < ends[:-1] - tol))
+    if len(overlap):
+        violations.append(
+            f"overlapping attempts for jobs "
+            f"{np.unique(att_job[order][overlap]).tolist()}"
+        )
+    # capacity over the attempt log: failed attempts occupy cores too
+    peak = max_concurrent_usage(att_start, att_elapsed, w.cores[att_job])
+    if peak > result.capacity:
+        violations.append(
+            f"capacity overcommitted: peak {peak} cores > {result.capacity}"
+        )
+    # conservation including failed/restarted work: everything the cluster
+    # did (goodput or wasted) fits inside capacity x the attempt span
+    busy = float((w.cores[att_job] * att_elapsed).sum())
+    if len(att_start):
+        span = float(ends.max() - w.submit.min())
+        if span > 0 and busy > result.capacity * span * (1.0 + tol):
+            violations.append(
+                f"attempt core-seconds {busy} exceed capacity x span "
+                f"{result.capacity * span}"
+            )
     return violations

@@ -134,7 +134,14 @@ class TestChaosBitIdentical:
     def test_crashes_and_errors_healed_bit_identical(self):
         tasks = grid(wl())
         clean = run_sweep(tasks, jobs=1)
-        chaos = ChaosConfig(crash_p=0.3, error_p=0.2, seed=7)
+        # same seed-drift caveat as the corrupt test below: scan for a
+        # seed whose schedule faults at least one first attempt
+        chaos = next(
+            cfg
+            for seed in range(64)
+            for cfg in (ChaosConfig(crash_p=0.3, error_p=0.2, seed=seed),)
+            if any(cfg.fault_for(t.fingerprint(), 1) for t in tasks)
+        )
         report = FailureReport()
         stats = SweepStats()
         healed = run_sweep(
@@ -161,7 +168,15 @@ class TestChaosBitIdentical:
     def test_corrupt_results_detected_and_healed(self):
         tasks = grid(wl())
         clean = run_sweep(tasks, jobs=1)
-        chaos = ChaosConfig(corrupt_result_p=0.5, seed=9)
+        # fingerprints include code_version(), so any sched edit reshuffles
+        # the chaos draws; pick the first seed that corrupts at least one
+        # first attempt rather than pinning one that can drift to zero
+        chaos = next(
+            cfg
+            for seed in range(64)
+            for cfg in (ChaosConfig(corrupt_result_p=0.5, seed=seed),)
+            if any(cfg.corrupts_result(t.fingerprint(), 1) for t in tasks)
+        )
         report = FailureReport()
         healed = run_sweep(
             tasks,

@@ -1,20 +1,26 @@
-"""Differential tests pinning the vectorized engine to the reference.
+"""Differential tests pinning the vectorized engines to the references.
 
 :mod:`repro.sched.fast` reimplements the EASY-family hot path with flat
-arrays and batched event processing; its one contract is **bit-identical
-schedules** (docs/PERFORMANCE.md).  This suite enforces that contract:
+arrays and batched event processing, :mod:`repro.sched.fast_conservative`
+does the same for conservative backfilling's profile walk, and
+:mod:`repro.sched.fast_faults` for the fault-injected engine; their one
+shared contract is **bit-identical results** (docs/PERFORMANCE.md).  This
+suite enforces that contract:
 
-* a seeded differential matrix — every queue policy crossed with every
-  backfill mode on adversarial fuzz workloads, multi-user so fair-share
-  state is exercised;
+* seeded differential matrices — every queue policy crossed with every
+  backfill mode on adversarial fuzz workloads (multi-user so fair-share
+  state is exercised), conservative backfilling across every policy, and
+  the fault engine across zero-failure and calibrated fault configs;
 * deep-queue burst stress, where the vectorized backfill scan and the
   amortized queue compaction actually kick in;
-* a hypothesis property over arbitrary small workloads;
+* hypothesis properties over arbitrary small workloads, running the
+  shared invariant battery (:mod:`repro.testkit.invariants`) — including
+  the fault battery's conservation sweep over failed/restarted attempts;
 * the satellite bugfixes: fair-share usage pruning (``USAGE_EPS``) and
-  the normalized ``queue_samples`` dtypes;
-* the dispatch/wiring surfaces: ``simulate(engine=...)``, ``SimTask``
-  fingerprints, ``run_sweep``, the fuzzer's ``engine_impl`` and the CLI
-  ``--engine`` flags.
+  the normalized ``queue_samples`` / fault-array dtypes;
+* the dispatch/wiring surfaces: ``simulate(engine=...)`` (including the
+  ``faults=`` path), ``SimTask`` fingerprints, ``run_sweep``, the
+  fuzzer's ``engine_impl`` and the CLI ``--engine`` flags.
 """
 
 import numpy as np
@@ -27,6 +33,7 @@ from repro.runner import SimTask, run_sweep
 from repro.sched import (
     EASY,
     NO_BACKFILL,
+    NO_FAULTS,
     FaultConfig,
     SimWorkload,
     adaptive_relaxed,
@@ -34,10 +41,14 @@ from repro.sched import (
     simulate,
     simulate_conservative,
     simulate_fast,
+    simulate_fast_conservative,
+    simulate_fast_with_faults,
     simulate_with_faults,
 )
 from repro.sched.engine import USAGE_EPS
 from repro.testkit import FUZZ_POLICIES, check_case, fuzz, random_workload
+from repro.testkit.fuzz import FUZZ_FAULT_CONFIGS
+from repro.testkit.invariants import check_fault_result, check_result
 
 CAPACITY = 16
 
@@ -151,6 +162,198 @@ class TestFastMatchesReference:
 
 
 # ----------------------------------------------------------------------
+# bit-identity: conservative backfilling
+
+#: every array field of a FaultSimResult, compared bit-for-bit
+FAULT_FIELDS = (
+    "start", "end", "status", "attempts", "promised", "backfilled",
+    "attempt_job", "attempt_start", "attempt_elapsed", "attempt_outcome",
+    "node_fail_times", "node_fail_nodes", "node_repair_times",
+    "queue_samples", "queue_sample_times",
+)
+
+#: calibrated configuration: node churn + intrinsic faults + retries +
+#: checkpointing, all active on fuzz-sized workloads
+CALIBRATED_FAULTS = FaultConfig(
+    node_mtbf=150.0,
+    node_mttr=60.0,
+    n_nodes=4,
+    fail_prob=0.25,
+    kill_prob=0.1,
+    max_attempts=4,
+    backoff_base=3.0,
+    checkpoint_interval=40.0,
+    seed=17,
+)
+
+
+def _assert_fault_identical(ref, fast, label=""):
+    for name in FAULT_FIELDS:
+        a, b = getattr(ref, name), getattr(fast, name)
+        assert a.shape == b.shape and np.array_equal(
+            a, b, equal_nan=True
+        ), f"{label}: {name}"
+
+
+class TestFastConservativeMatchesReference:
+    def test_differential_matrix(self):
+        """Every queue policy on seeded adversarial workloads — the new
+        wide-job draws in ``random_workload`` force dense reservation
+        chains through the profile rebuild."""
+        for case in range(12):
+            rng = np.random.default_rng((77, case))
+            wl = _multi_user(random_workload(rng, capacity=CAPACITY), rng)
+            for policy in ALL_POLICIES:
+                ref = simulate_conservative(
+                    wl, CAPACITY, policy, track_queue=True
+                )
+                fast = simulate_fast_conservative(
+                    wl, CAPACITY, policy, track_queue=True
+                )
+                _assert_identical(ref, fast, f"case {case} {policy}")
+
+    def test_deep_queue_bursts(self):
+        wl = _burst_workload()
+        for policy in ("fcfs", "sjf", "wfp3", "fairshare"):
+            ref = simulate_conservative(wl, 8, policy, track_queue=True)
+            fast = simulate_fast_conservative(wl, 8, policy, track_queue=True)
+            _assert_identical(ref, fast, policy)
+
+    def test_kill_at_walltime(self):
+        wl = _burst_workload(seed=3)
+        for kill in (False, True):
+            ref = simulate_conservative(wl, 8, "sjf", kill_at_walltime=kill)
+            fast = simulate_fast_conservative(
+                wl, 8, "sjf", kill_at_walltime=kill
+            )
+            _assert_identical(ref, fast, f"kill={kill}")
+            assert ref.to_dict() == fast.to_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        policy=st.sampled_from(ALL_POLICIES),
+        capacity=st.integers(2, 24),
+    )
+    def test_property_bit_identical_and_invariant(self, seed, policy, capacity):
+        rng = np.random.default_rng(seed)
+        wl = _multi_user(random_workload(rng, capacity=capacity), rng)
+        ref = simulate_conservative(wl, capacity, policy, track_queue=True)
+        fast = simulate_fast_conservative(
+            wl, capacity, policy, track_queue=True
+        )
+        _assert_identical(ref, fast, f"{policy}@{capacity}")
+        assert check_result(fast) == []
+
+
+# ----------------------------------------------------------------------
+# bit-identity: fault injection
+
+
+class TestFastFaultsMatchesReference:
+    def test_differential_matrix(self):
+        """Zero-failure and calibrated fault configs across policies and
+        backfill modes; every array field of the result must match."""
+        for case in range(8):
+            rng = np.random.default_rng((88, case))
+            wl = _multi_user(random_workload(rng, capacity=CAPACITY), rng)
+            for cfg_name, cfg in (
+                ("zero", NO_FAULTS),
+                ("calibrated", CALIBRATED_FAULTS),
+            ):
+                for policy in ALL_POLICIES:
+                    for bf_name, bf in BACKFILLS.items():
+                        ref = simulate_with_faults(
+                            wl, CAPACITY, policy, bf, cfg, track_queue=True
+                        )
+                        fast = simulate_fast_with_faults(
+                            wl, CAPACITY, policy, bf, cfg, track_queue=True
+                        )
+                        _assert_fault_identical(
+                            ref, fast,
+                            f"case {case} {cfg_name} {policy}+{bf_name}",
+                        )
+
+    def test_zero_failure_equals_plain_fast(self):
+        """With NO_FAULTS the fault twin reduces to the plain fast engine
+        (one attempt per job, identical schedule and queue samples)."""
+        for case in range(6):
+            rng = np.random.default_rng((89, case))
+            wl = _multi_user(random_workload(rng, capacity=CAPACITY), rng)
+            for policy in ("fcfs", "sjf", "fairshare"):
+                plain = simulate(
+                    wl, CAPACITY, policy, EASY, track_queue=True,
+                    engine="fast",
+                )
+                faulty = simulate_fast_with_faults(
+                    wl, CAPACITY, policy, EASY, NO_FAULTS, track_queue=True
+                )
+                for name in (
+                    "start", "promised", "backfilled",
+                    "queue_samples", "queue_sample_times",
+                ):
+                    assert np.array_equal(
+                        getattr(plain, name), getattr(faulty, name),
+                        equal_nan=True,
+                    ), f"case {case} {policy}: {name}"
+                assert np.all(faulty.attempts == 1)
+
+    def test_fuzz_fault_configs_all_active(self):
+        """The fuzz matrix exercises retries and node failures somewhere —
+        a matrix of configs that never fires is a silent coverage hole."""
+        saw_retry = saw_node_fail = False
+        for case in range(10):
+            rng = np.random.default_rng((90, case))
+            wl = random_workload(rng, capacity=CAPACITY)
+            for cfg in FUZZ_FAULT_CONFIGS:
+                res = simulate_fast_with_faults(
+                    wl, CAPACITY, "fcfs", EASY, cfg
+                )
+                saw_retry |= bool(np.any(res.attempts > 1))
+                saw_node_fail |= len(res.node_fail_times) > 0
+        assert saw_retry and saw_node_fail
+
+    def test_kill_at_walltime(self):
+        wl = _burst_workload(seed=5)
+        for kill in (False, True):
+            ref = simulate_with_faults(
+                wl, 8, "sjf", EASY, CALIBRATED_FAULTS,
+                kill_at_walltime=kill,
+            )
+            fast = simulate_fast_with_faults(
+                wl, 8, "sjf", EASY, CALIBRATED_FAULTS,
+                kill_at_walltime=kill,
+            )
+            _assert_fault_identical(ref, fast, f"kill={kill}")
+            assert ref.to_dict() == fast.to_dict()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        policy=st.sampled_from(ALL_POLICIES),
+        capacity=st.integers(2, 24),
+        cfg_index=st.integers(0, len(FUZZ_FAULT_CONFIGS) - 1),
+    )
+    def test_property_bit_identical_and_invariant(
+        self, seed, policy, capacity, cfg_index
+    ):
+        """Bit-identity plus the fault invariant battery — the
+        conservation sweep inside ``check_fault_result`` accounts every
+        failed and restarted attempt's core-seconds."""
+        rng = np.random.default_rng(seed)
+        wl = _multi_user(random_workload(rng, capacity=capacity), rng)
+        cfg = FUZZ_FAULT_CONFIGS[cfg_index]
+        ref = simulate_with_faults(
+            wl, capacity, policy, EASY, cfg, track_queue=True
+        )
+        fast = simulate_fast_with_faults(
+            wl, capacity, policy, EASY, cfg, track_queue=True
+        )
+        _assert_fault_identical(ref, fast, f"{policy}@{capacity}[{cfg_index}]")
+        assert check_fault_result(fast) == []
+
+
+# ----------------------------------------------------------------------
 # satellite bugfix: fair-share usage pruning
 
 
@@ -216,6 +419,55 @@ class TestQueueSampleDtypes:
         )
         self._check(res)
 
+    def test_fault_array_dtypes_canonical(self):
+        """Every FaultSimResult array carries its canonical dtype on both
+        engines — __post_init__ pins them, so a platform-default int32
+        can never leak into a cached payload."""
+        from repro.sched.faults import FaultSimResult
+
+        expected = dict(FaultSimResult._ARRAY_DTYPES)
+        rng = np.random.default_rng(3)
+        wl = random_workload(rng, capacity=CAPACITY)
+        cfg = FaultConfig(node_mtbf=200.0, n_nodes=4, fail_prob=0.2, seed=6)
+        for res in (
+            simulate_with_faults(wl, CAPACITY, "fcfs", EASY, cfg, track_queue=True),
+            simulate_fast_with_faults(wl, CAPACITY, "fcfs", EASY, cfg, track_queue=True),
+        ):
+            for name, dtype in expected.items():
+                assert getattr(res, name).dtype == dtype, name
+
+    def test_fault_post_init_coerces_stray_dtypes(self):
+        """Constructing a result from lists / int32 arrays (as a cache
+        deserializer would) yields the same canonical dtypes."""
+        from repro.sched.faults import FaultSimResult
+
+        n = 3
+        wl = SimWorkload(
+            submit=np.arange(n, dtype=float),
+            cores=np.ones(n, dtype=np.int64),
+            runtime=np.ones(n),
+            walltime=np.ones(n),
+            user=np.zeros(n, dtype=np.int64),
+        )
+        res = FaultSimResult(
+            workload=wl,
+            capacity=4,
+            faults=NO_FAULTS,
+            start=[0.0, 1.0, 2.0],
+            end=np.ones(n, dtype=np.float32),
+            status=np.zeros(n, dtype=np.int32),
+            attempts=[1, 1, 1],
+            promised=np.full(n, np.nan),
+            backfilled=np.zeros(n, dtype=np.uint8),
+        )
+        assert res.start.dtype == np.float64
+        assert res.end.dtype == np.float64
+        assert res.status.dtype == np.int64
+        assert res.attempts.dtype == np.int64
+        assert res.backfilled.dtype == np.bool_
+        assert res.attempt_job.dtype == np.int64
+        assert res.queue_samples.dtype == np.int64
+
     def test_round_trip_through_sweep_payload(self, tmp_path):
         """max_queue survives the cached JSON round trip unchanged."""
         rng = np.random.default_rng(2)
@@ -249,10 +501,22 @@ class TestEngineDispatch:
         with pytest.raises(ValueError, match="unknown engine"):
             simulate(self._wl(), CAPACITY, engine="warp")
 
-    def test_fast_rejects_faults(self):
-        cfg = FaultConfig(node_mtbf=3600.0, n_nodes=4)
-        with pytest.raises(ValueError, match="reference engine"):
-            simulate(self._wl(), CAPACITY, faults=cfg, engine="fast")
+    def test_fast_dispatches_faults(self):
+        """simulate(engine="fast", faults=...) routes to the fault twin
+        and matches the reference fault engine bit for bit."""
+        wl = self._wl()
+        cfg = FaultConfig(node_mtbf=3600.0, n_nodes=4, seed=2)
+        via_dispatch = simulate(
+            wl, CAPACITY, faults=cfg, engine="fast", track_queue=True
+        )
+        direct = simulate_fast_with_faults(
+            wl, CAPACITY, faults=cfg, track_queue=True
+        )
+        reference = simulate_with_faults(
+            wl, CAPACITY, faults=cfg, track_queue=True
+        )
+        _assert_fault_identical(via_dispatch, direct, "dispatch vs direct")
+        _assert_fault_identical(via_dispatch, reference, "dispatch vs ref")
 
     def test_fast_accepts_event_hooks(self):
         from repro.obs import Metrics, RingBufferTracer, check_events
@@ -307,17 +571,44 @@ class TestSweepWiring:
             assert easy.summary == fast.summary
             assert easy.payload() == fast.payload()
 
-    def test_fault_task_needs_reference_engine(self):
+    def test_fault_sweep_payloads_identical_across_engines(self):
+        """Fault tasks run on either engine and produce identical cached
+        payloads — the fault-array dtype normalization is what keeps the
+        serialized bytes stable across the cache round trip."""
         wl = random_workload(np.random.default_rng(8), capacity=CAPACITY)
+        cfg = FaultConfig(
+            node_mtbf=200.0, node_mttr=50.0, n_nodes=4,
+            fail_prob=0.2, max_attempts=3, seed=4,
+        )
+        tasks = [
+            SimTask(
+                label=e,
+                workload=wl,
+                capacity=CAPACITY,
+                faults=cfg,
+                track_queue=True,
+                engine=e,
+            )
+            for e in ("easy", "fast")
+        ]
+        by_label = {r.label: r for r in run_sweep(tasks)}
+        assert by_label["easy"].payload() == by_label["fast"].payload()
+
+    def test_fault_task_round_trip_through_cache(self, tmp_path):
+        """A fast-engine fault task's payload survives the JSON cache."""
+        wl = random_workload(np.random.default_rng(9), capacity=CAPACITY)
         task = SimTask(
-            label="bad",
+            label="rt",
             workload=wl,
             capacity=CAPACITY,
-            faults=FaultConfig(node_mtbf=3600.0, n_nodes=4),
+            faults=FaultConfig(node_mtbf=300.0, n_nodes=4, seed=5),
+            track_queue=True,
             engine="fast",
         )
-        with pytest.raises(Exception, match="reference engine"):
-            run_sweep([task])
+        cold = run_sweep([task], cache=tmp_path / "c")[0]
+        warm = run_sweep([task], cache=tmp_path / "c")[0]
+        assert warm.cached and not cold.cached
+        assert cold.payload() == warm.payload()
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +626,24 @@ class TestFuzzImpl:
         assert report.engine_impl == "fast"
         assert "fuzz[fast]" in report.describe()
 
+    def test_fast_conservative_campaign_clean(self):
+        report = fuzz(
+            policies=("conservative",),
+            budget=30,
+            engine_impl="fast-conservative",
+        )
+        assert report.ok, report.describe()
+        assert "fuzz[fast-conservative]" in report.describe()
+
+    def test_fast_faults_campaign_clean(self):
+        report = fuzz(
+            policies=("fcfs", "easy"),
+            budget=6,
+            engine_impl="fast-faults",
+        )
+        assert report.ok, report.describe()
+        assert "fuzz[fast-faults]" in report.describe()
+
     def test_fast_rejects_conservative(self):
         with pytest.raises(ValueError, match="no 'fast' implementation"):
             fuzz(policies=("fcfs", "conservative"), engine_impl="fast")
@@ -344,6 +653,18 @@ class TestFuzzImpl:
                 CAPACITY,
                 impl="fast",
             )
+
+    def test_fast_conservative_rejects_easy_family(self):
+        with pytest.raises(
+            ValueError, match="no 'fast-conservative' implementation"
+        ):
+            fuzz(policies=("fcfs",), engine_impl="fast-conservative")
+
+    def test_fast_faults_rejects_conservative(self):
+        with pytest.raises(
+            ValueError, match="no 'fast-faults' implementation"
+        ):
+            fuzz(policies=("conservative",), engine_impl="fast-faults")
 
     def test_unknown_impl_rejected(self):
         with pytest.raises(ValueError, match="unknown engine impl"):
@@ -358,6 +679,25 @@ class TestFuzzImpl:
     def test_check_case_fast(self):
         wl = random_workload(np.random.default_rng(3), capacity=CAPACITY)
         assert check_case(wl, CAPACITY, FUZZ_POLICIES["easy"], impl="fast") == []
+
+    def test_check_case_fast_conservative(self):
+        wl = random_workload(np.random.default_rng(4), capacity=CAPACITY)
+        assert (
+            check_case(
+                wl, CAPACITY, FUZZ_POLICIES["conservative"],
+                impl="fast-conservative",
+            )
+            == []
+        )
+
+    def test_check_case_fast_faults(self):
+        wl = random_workload(np.random.default_rng(5), capacity=CAPACITY)
+        assert (
+            check_case(
+                wl, CAPACITY, FUZZ_POLICIES["sjf-easy"], impl="fast-faults"
+            )
+            == []
+        )
 
 
 # ----------------------------------------------------------------------
@@ -389,18 +729,15 @@ class TestCliEngineFlag:
         )
         assert capsys.readouterr().out == easy_out
 
-    def test_fast_fault_conflict_exit_2(self, swf_path, capsys):
-        assert (
-            main(
-                [
-                    "simulate", str(swf_path),
-                    "--engine", "fast",
-                    "--mtbf-hours", "5",
-                ]
-            )
-            == 2
-        )
-        assert "fault" in capsys.readouterr().err
+    def test_fast_fault_run_matches_easy(self, swf_path, capsys):
+        """--engine fast with fault flags now runs (PR 10 lifted the
+        conflict) and prints the exact table the reference produces."""
+        args = ["simulate", str(swf_path), "--mtbf-hours", "5", "--retries", "2"]
+        assert main(args + ["--engine", "easy"]) == 0
+        easy_out = capsys.readouterr().out
+        assert main(args + ["--engine", "fast"]) == 0
+        assert capsys.readouterr().out == easy_out
+        assert "faults" in easy_out
 
     def test_fast_trace_out_matches_easy(self, swf_path, tmp_path, capsys):
         """--trace-out now works on the fast engine: the decoded columnar
@@ -461,7 +798,21 @@ class TestCliEngineFlag:
             )
             == 2
         )
-        assert "conservative" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "conservative" in err
+        assert "fast-conservative" in err  # the message points at the twin
+
+    def test_fuzz_fast_conservative_smoke(self, capsys):
+        assert main(["fuzz", "--budget", "5", "--engine", "fast-conservative"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz[fast-conservative]" in out
+        assert "ok:" in out
+
+    def test_fuzz_fast_faults_smoke(self, capsys):
+        assert main(["fuzz", "--budget", "2", "--engine", "fast-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz[fast-faults]" in out
+        assert "ok:" in out
 
     def test_metrics_out_payload_identical(self, swf_path, tmp_path, capsys):
         """--metrics-out on the fast engine writes the exact payload the

@@ -17,12 +17,20 @@ and commit the updated files alongside the code change (the diff then
 documents exactly which numbers moved).  See ``docs/TESTING.md``.
 """
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import ext_resilience, table2
+from repro.sched import (
+    FaultConfig,
+    simulate_fast_conservative,
+    simulate_fast_with_faults,
+    workload_from_trace,
+)
+from repro.traces.synth import generate_trace
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -31,9 +39,96 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 #: metrics) is exercised.  Changing these invalidates the goldens.
 GOLDEN_PARAMS = {"days": 2.0, "seed": 0, "max_jobs": 600}
 
+
+class _Blob:
+    """Adapter giving ad-hoc golden payloads the ``.to_json()`` shape."""
+
+    def __init__(self, payload: dict):
+        self.payload = payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.payload, indent=1, sort_keys=True)
+
+
+def _golden_workload():
+    trace = generate_trace("mira", days=2.0, seed=7)
+    return workload_from_trace(trace), int(trace.system.schedulable_units)
+
+
+def _fast_conservative_golden() -> _Blob:
+    """Freeze the fast conservative twin's full per-job output.
+
+    The twin is differentially locked to ``simulate_conservative`` (see
+    ``tests/test_fast_engine.py``), so this golden transitively freezes
+    the reference engine too — including every reservation in
+    ``promised`` and the conservative profile's queue-sample cadence.
+    """
+    workload, capacity = _golden_workload()
+    res = simulate_fast_conservative(
+        workload, capacity, "sjf", track_queue=True
+    )
+    return _Blob(
+        {
+            "engine": "fast-conservative",
+            "policy": "sjf",
+            "summary": res.to_dict(),
+            "start": res.start.tolist(),
+            "promised": res.promised.tolist(),
+            "backfilled": res.backfilled.astype(int).tolist(),
+            "queue_samples": res.queue_samples.tolist(),
+            "queue_sample_times": res.queue_sample_times.tolist(),
+        }
+    )
+
+
+def _fast_faults_golden() -> _Blob:
+    """Freeze the fast fault twin's full result: schedule, attempt log,
+    node failure/repair processes and queue samples, under a calibrated
+    configuration that exercises node kills, intrinsic faults, retries
+    and checkpoint restores."""
+    workload, capacity = _golden_workload()
+    cfg = FaultConfig(
+        node_mtbf=40_000.0,
+        node_mttr=1_800.0,
+        n_nodes=16,
+        fail_prob=0.08,
+        kill_prob=0.03,
+        max_attempts=3,
+        checkpoint_interval=3_600.0,
+        seed=13,
+    )
+    res = simulate_fast_with_faults(
+        workload, capacity, "fcfs", faults=cfg, track_queue=True
+    )
+    return _Blob(
+        {
+            "engine": "fast-faults",
+            "policy": "fcfs",
+            "summary": res.to_dict(),
+            "start": res.start.tolist(),
+            "end": res.end.tolist(),
+            "status": res.status.tolist(),
+            "attempts": res.attempts.tolist(),
+            "promised": res.promised.tolist(),
+            "backfilled": res.backfilled.astype(int).tolist(),
+            "attempt_job": res.attempt_job.tolist(),
+            "attempt_start": res.attempt_start.tolist(),
+            "attempt_elapsed": res.attempt_elapsed.tolist(),
+            "attempt_outcome": res.attempt_outcome.tolist(),
+            "node_fail_times": res.node_fail_times.tolist(),
+            "node_fail_nodes": res.node_fail_nodes.tolist(),
+            "node_repair_times": res.node_repair_times.tolist(),
+            "queue_samples": res.queue_samples.tolist(),
+            "queue_sample_times": res.queue_sample_times.tolist(),
+        }
+    )
+
+
 CASES = {
     "table2": lambda: table2.run(**GOLDEN_PARAMS),
     "ext_resilience": lambda: ext_resilience.run(**GOLDEN_PARAMS),
+    "fast_conservative": _fast_conservative_golden,
+    "fast_faults": _fast_faults_golden,
 }
 
 
